@@ -1,0 +1,42 @@
+"""Experiment: Figure 1 — system performance history.
+
+Paper: daily rate swinging 0.5-3.5 Gflops around a ≈1.3 Gflops average;
+utilization moving average around 0.64 with a 0.95 peak; a 3.4 Gflops
+best day and a 5.7 Gflops best 15-minute interval; *no upward trend*
+despite the machine being configured for code development.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import figure1
+
+
+def test_figure1(campaign, benchmark, capsys):
+    fig = benchmark(figure1, campaign)
+    daily = fig.series["daily_gflops"]
+    util_ma = fig.series["utilization_moving_avg"]
+
+    assert len(daily) == campaign.config.n_days
+    assert 0.7 <= daily.mean() <= 2.2  # paper: ≈1.3
+    assert daily.max() <= 6.0  # paper's best day: 3.4
+    assert util_ma.max() <= 1.0
+
+    # No improvement trend (paper: "no obvious trend toward increased
+    # performance as time passes"): the second half must not beat the
+    # first half by more than 40%.
+    half = len(daily) // 2
+    if half >= 7:
+        assert daily[half:].mean() <= 1.4 * daily[:half].mean() + 0.3
+
+    _, interval = campaign.interval_gflops()
+    assert interval.max() <= 8.0  # paper's 15-min peak: 5.7
+
+    with capsys.disabled():
+        print()
+        print(fig.render())
+        print(
+            f"\n  daily mean {daily.mean():.2f} Gflops (paper 1.3); "
+            f"best day {daily.max():.2f} (paper 3.4); "
+            f"best 15-min {interval.max():.2f} (paper 5.7); "
+            f"util mean {campaign.daily_utilization().mean():.2f} (paper 0.64)"
+        )

@@ -1,0 +1,30 @@
+"""Experiment: Figure 2 — batch-job walltime vs nodes requested.
+
+Paper: 16, 32 and 8-node jobs consume most of the wall clock time;
+essentially none is consumed by jobs requesting more than 64 nodes
+(the queues had to be drained for them, §6).
+"""
+
+import numpy as np
+
+from repro.analysis.figures import figure2
+
+
+def test_figure2(campaign, benchmark, capsys):
+    fig = benchmark(figure2, campaign)
+    x, y = fig.series["x"], fig.series["y"]
+    total = y.sum()
+
+    assert x[int(np.argmax(y))] == 16  # the paper's most popular choice
+    moderate = y[(x == 8) | (x == 16) | (x == 32)].sum()
+    assert moderate > 0.5 * total
+    assert y[x > 64].sum() < 0.1 * total
+
+    with capsys.disabled():
+        print()
+        print(fig.render())
+        print(
+            f"\n  16/32/8-node walltime share: {moderate / total:.0%} "
+            f"(paper: dominant); >64-node share: {y[x > 64].sum() / total:.1%} "
+            "(paper: essentially none)"
+        )

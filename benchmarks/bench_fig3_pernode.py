@@ -1,0 +1,36 @@
+"""Experiment: Figure 3 — per-node job performance vs nodes requested.
+
+Paper: the per-node rate is sustained in many cases up to 64 nodes,
+collapses sharply beyond 64, and peaks at ≈40 Mflops/node around 28
+nodes (the asynchronous Navier-Stokes solver).
+"""
+
+import numpy as np
+
+from repro.analysis.figures import figure3
+
+
+def test_figure3(campaign, benchmark, capsys):
+    fig = benchmark(figure3, campaign)
+    x, y = fig.series["x"], fig.series["y"]
+
+    mid = y[(x >= 8) & (x <= 64)]
+    wide = y[x > 64]
+    assert mid.mean() > 10.0  # sustained moderate-parallelism rates
+    if wide.size:
+        assert wide.mean() < 0.6 * mid.mean()  # the >64 collapse
+
+    # The champion: ≈40 Mflops/node in the 16-48 node range.
+    peak_x = x[int(np.argmax(y))]
+    assert 16 <= peak_x <= 48
+    assert 35.0 <= y.max() <= 60.0
+
+    with capsys.disabled():
+        print()
+        print(fig.render())
+        print(
+            f"\n  champion: {y.max():.1f} Mflops/node at {peak_x:.0f} nodes "
+            "(paper: ≈40 at 28); "
+            f"8-64-node mean {mid.mean():.1f}; >64-node mean "
+            f"{wide.mean() if wide.size else float('nan'):.1f}"
+        )

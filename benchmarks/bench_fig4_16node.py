@@ -1,0 +1,35 @@
+"""Experiment: Figure 4 — 16-node job performance history.
+
+Paper: whole-job rates averaging ≈320 Mflops with a spread of ≈200, and
+a moving average showing *no improvement trend* over the nine months —
+users never rewrote their codes (§6/§7).
+"""
+
+import numpy as np
+
+from repro.analysis.figures import figure4
+
+
+def test_figure4(campaign, benchmark, capsys):
+    fig = benchmark(figure4, campaign)
+    rates = fig.series["job_mflops"]
+    ma = fig.series["job_mflops_moving_avg"]
+
+    assert rates.size >= 20  # 16-node jobs are the most popular choice
+    assert 200.0 <= rates.mean() <= 480.0  # paper: 320
+    assert rates.std() >= 60.0  # paper: spread 200
+
+    # No improvement trend: late moving average within 35% of early.
+    if rates.size >= 40:
+        early = ma[: rates.size // 4].mean()
+        late = ma[-rates.size // 4 :].mean()
+        assert late <= 1.35 * early + 30.0
+
+    with capsys.disabled():
+        print()
+        print(fig.render())
+        print(
+            f"\n  {rates.size} sixteen-node jobs: mean {rates.mean():.0f} Mflops "
+            f"(paper 320), std {rates.std():.0f} (paper ≈200), "
+            "flat moving average (paper: no trend)"
+        )

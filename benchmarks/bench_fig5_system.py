@@ -1,0 +1,39 @@
+"""Experiment: Figure 5 — node performance vs system intervention.
+
+Paper: days with high (System FXU)/(User FXU) ratios display below-
+average performance — the counter signature that exposed paging as the
+machine's hidden performance killer (§6).
+"""
+
+import numpy as np
+
+from repro.analysis.figures import figure5
+
+
+def test_figure5(campaign, benchmark, capsys):
+    fig = benchmark(figure5, campaign)
+    x, y = fig.series["x"], fig.series["y"]
+
+    assert np.isfinite(x).all() and np.isfinite(y).all()
+    assert x.size == campaign.config.n_days
+
+    # The declining shape: high-intervention days perform worse than
+    # low-intervention days.
+    if x.std() > 0:
+        median_x = np.median(x)
+        calm = y[x <= median_x]
+        stormy = y[x > median_x]
+        if calm.size and stormy.size:
+            assert stormy.mean() <= calm.mean() * 1.05
+        corr = np.corrcoef(x, y)[0, 1]
+        assert corr < 0.15
+
+    with capsys.disabled():
+        print()
+        print(fig.render())
+        if x.std() > 0:
+            print(
+                f"\n  correlation(intervention, performance) = "
+                f"{np.corrcoef(x, y)[0, 1]:+.2f} (paper: clearly negative); "
+                f"intervention range {x.min():.2f}-{x.max():.2f}"
+            )

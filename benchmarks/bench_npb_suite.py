@@ -1,0 +1,42 @@
+"""Extension experiment: the NPB 2.1 suite on the simulated SP2.
+
+Not a table in the paper, but its §5/§7 and Table 4 lean on NPB 2.1
+(Saphir, Woo & Yarrow 1996) for calibration: BT at 44 Mflops/CPU on 49
+CPUs with the best TLB behaviour in Table 4.  This experiment runs the
+whole suite and asserts the report's qualitative orderings.
+"""
+
+from repro.workload.npb import NPB_SUITE, npb, suite_report
+
+
+def test_npb_suite(benchmark, capsys):
+    rows = benchmark(suite_report)
+    by_name = {r["benchmark"]: r for r in rows}
+
+    # Table 4's anchor.
+    bt = by_name["BT.A"]
+    assert npb("BT").processes == 49
+    assert 35.0 <= bt["mflops_per_node"] <= 50.0  # paper: 44
+
+    # NPB 2.1 orderings on the SP2.
+    assert bt["mflops_per_node"] > 1.3 * by_name["SP.A"]["mflops_per_node"]
+    assert by_name["EP.A"]["dcache_ratio"] < 0.002
+    assert by_name["SP.A"]["comm_fraction"] > by_name["LU.A"]["comm_fraction"]
+    assert by_name["MG.A"]["tlb_ratio"] > bt["tlb_ratio"]
+    assert by_name["FT.A"]["tlb_ratio"] > bt["tlb_ratio"]
+    # Class scaling: B is the same code on a bigger grid.
+    assert by_name["BT.B"]["walltime_s"] > 2.0 * bt["walltime_s"]
+
+    with capsys.disabled():
+        print()
+        header = f"{'bench':8s} {'procs':>5s} {'Mflops/node':>12s} {'Gflops':>7s} {'wall s':>8s} {'comm':>6s} {'dc%':>6s} {'tlb%':>7s}"
+        print("  " + header)
+        for key in sorted(NPB_SUITE):
+            r = by_name[key]
+            print(
+                f"  {key:8s} {r['processes']:5d} {r['mflops_per_node']:12.1f} "
+                f"{r['total_gflops']:7.2f} {r['walltime_s']:8.0f} "
+                f"{r['comm_fraction']:6.1%} {100 * r['dcache_ratio']:6.2f} "
+                f"{100 * r['tlb_ratio']:7.3f}"
+            )
+        print("\n  paper anchor: BT.A = 44 Mflops/CPU on 49 CPUs (Table 4)")

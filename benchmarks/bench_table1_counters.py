@@ -1,0 +1,22 @@
+"""Experiment: Table 1 — the NAS counter selection.
+
+Regenerates the counter table from the event catalog and validates the
+physical constraints (22 counters, 5/5/5/2/5 slots).  The benchmark
+measures the selection-validation path, which is what RS2HPM runs every
+time a group is programmed.
+"""
+
+from repro.analysis.tables import table1
+from repro.hpm.events import NAS_SELECTION
+
+
+def test_table1(benchmark, capsys):
+    table = benchmark(table1)
+    assert len(table.rows) == 22
+    with capsys.disabled():
+        print()
+        print(table.render())
+
+
+def test_selection_validation(benchmark):
+    benchmark(NAS_SELECTION.validate)

@@ -1,0 +1,53 @@
+"""Experiment: Table 3 — the full per-unit breakdown.
+
+Paper values (per node, filtered days): Mflops-All 17.4 (add 9.5, div
+0.0, mult 3.2, fma 4.7); Mips-FP 14.8 (unit0 9.4, unit1 5.4); Mips-FXU
+27.6; Mips-ICU 3.3; dcache misses 0.30 M/s; TLB 0.04 M/s; icache
+0.014 M/s; DMA reads 0.024 / writes 0.017 MT/s.
+"""
+
+from repro.analysis.tables import table3
+
+PAPER_AVG = {
+    "Mflops-All": 17.4,
+    "Mflops-add": 9.5,
+    "Mflops-div": 0.0,
+    "Mflops-mult": 3.2,
+    "Mflops-fma": 4.7,
+    "Mips-Floating Point (Total)": 14.8,
+    "Mips-Floating Point (Unit 0)": 9.4,
+    "Mips-Floating Point (Unit 1)": 5.4,
+    "Mips-Fixed Point Unit (Total)": 27.6,
+    "Mips-Inst Cache Unit": 3.3,
+    "Data Cache Misses-Million/S": 0.30,
+    "TLB-Million/S": 0.04,
+    "Instruction Cache Misses-Million/S": 0.014,
+    "DMA reads-MTransfer/S": 0.024,
+    "DMA writes-MTransfer/S": 0.017,
+}
+
+
+def test_table3(campaign, benchmark, capsys):
+    table = benchmark(table3, campaign)
+    avg = {row[0]: row[2] for row in table.rows if not str(row[0]).startswith("--")}
+
+    # Structural facts from the paper that must hold exactly.
+    assert avg["Mflops-div"] == 0.0  # broken divide counter (§3)
+    assert avg["Mips-Floating Point (Unit 0)"] > avg["Mips-Floating Point (Unit 1)"]
+    assert (
+        avg["Mflops-add"] + avg["Mflops-mult"] + avg["Mflops-fma"]
+        == avg["Mflops-All"]
+        or abs(avg["Mflops-add"] + avg["Mflops-mult"] + avg["Mflops-fma"] - avg["Mflops-All"]) < 1e-6
+    )
+    # Magnitudes within a factor of ~3 of the paper.
+    for name, paper in PAPER_AVG.items():
+        if paper == 0.0:
+            continue
+        assert paper / 3.5 <= avg[name] <= paper * 3.5, (name, avg[name])
+
+    with capsys.disabled():
+        print()
+        print(table.render())
+        print("\n  paper vs measured (filtered-day averages):")
+        for name, paper in PAPER_AVG.items():
+            print(f"    {name:<38s} paper {paper:>7.3g}   measured {avg[name]:>7.3g}")

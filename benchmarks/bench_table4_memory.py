@@ -1,0 +1,44 @@
+"""Experiment: Table 4 — hierarchical memory performance.
+
+Paper: cache-miss ratio 1% (workload) / 3% (sequential) / 1.2% (BT);
+TLB 0.1% / 0.2% / 0.06%; Mflops/CPU 17 (workload) / 44 (BT on 49 CPUs).
+The orderings are the experiment's point: BT's rearranged loop nests
+beat both the workload and the no-reuse bound on the TLB.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import table4
+
+
+def _pct(cell: str) -> float:
+    return float(cell.rstrip("%"))
+
+
+def test_table4(campaign, benchmark, capsys):
+    table = benchmark(table4, campaign)
+    cache = {col: _pct(table.rows[0][i]) for i, col in enumerate(table.columns) if i}
+    tlb = {col: _pct(table.rows[1][i]) for i, col in enumerate(table.columns) if i}
+    mflops_wl = table.rows[2][1]
+    mflops_bt = table.rows[2][3]
+
+    # Orderings (the paper's comparison).
+    assert cache["Sequential Access"] > cache["NAS Workload"]
+    assert tlb["NPB BT on 49 CPUs"] < tlb["NAS Workload"]
+    assert tlb["NPB BT on 49 CPUs"] < tlb["Sequential Access"]
+    assert mflops_bt > 1.5 * mflops_wl
+
+    # Magnitudes.
+    assert 0.5 <= cache["NAS Workload"] <= 2.0  # paper: 1%
+    assert cache["Sequential Access"] == 3.1  # exactly 8/256
+    assert 0.8 <= cache["NPB BT on 49 CPUs"] <= 1.6  # paper: 1.2%
+    assert 0.15 <= tlb["Sequential Access"] <= 0.25  # paper: 0.2%
+    assert 38.0 <= mflops_bt <= 50.0  # paper: 44
+
+    with capsys.disabled():
+        print()
+        print(table.render())
+        print(
+            "\n  paper: cache 1%/3%/1.2%; TLB 0.1%/0.2%/0.06%; Mflops 17/-/44\n"
+            f"  measured Mflops/CPU: workload {mflops_wl:.1f}, BT {mflops_bt:.1f}"
+        )

@@ -1,0 +1,29 @@
+"""Experiment: §5's trend search — "no obvious trends in the RS2HPM
+workload data".
+
+The paper expected fma-heavy days to run faster and missy days slower,
+and found neither; the only strong signal in the counter data turned out
+to be the §6 system-intervention ratio.  This experiment repeats the
+search on the simulated campaign and asserts the same outcome.
+"""
+
+from repro.analysis.trends import render_trend_report, trend_report
+
+
+def test_no_obvious_cpu_side_trends(campaign, benchmark, capsys):
+    trends = benchmark(trend_report, campaign)
+    by_name = {t.predictor: t for t in trends}
+
+    # §5's candidates come up weak...
+    assert not by_name["fma flop fraction"].is_obvious_trend
+    assert not by_name["cache miss ratio"].is_obvious_trend
+    assert not by_name["TLB miss ratio"].is_obvious_trend
+
+    # ...while the §6 signal is the strong one (user cycle fraction and
+    # the system/user ratio are the wall-time-aware measures).
+    assert abs(by_name["user cycle fraction"].correlation) >= 0.3
+    assert by_name["system/user FXU ratio"].correlation < 0.0
+
+    with capsys.disabled():
+        print()
+        print(render_trend_report(trends))

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""§5's memory-hierarchy arithmetic, checked against real simulators.
+
+The paper reasons about miss ratios analytically: "For real*8 data, we
+would experience a cache-miss every 32 elements and a TLB miss ... every
+512 elements."  This example generates actual address streams — the
+sequential walk, large strides, a cache-blocked sweep, a multiblock
+solver's block-hopping visits, random access — and runs them through the
+reference 256 kB 4-way cache and 512-entry TLB simulators, printing the
+analytic prediction next to the simulated truth.
+
+Run::
+
+    python examples/cache_exploration.py
+"""
+
+from repro.power2.config import POWER2_590
+from repro.power2.dcache import SetAssociativeCache
+from repro.power2.streams import (
+    blocked_stream,
+    measure_stream,
+    multiblock_stream,
+    random_stream,
+    sequential_stream,
+    strided_stream,
+)
+from repro.power2.tlb import TLB
+from repro.util.rng import RngStreams
+from repro.util.tables import Table
+
+
+def main() -> None:
+    cfg = POWER2_590
+    rng = RngStreams(7).get("cache-exploration")
+    t = Table(
+        title="Access patterns through the POWER2 memory hierarchy "
+        "(analytic prediction vs reference simulation)",
+        columns=(
+            "Pattern",
+            "dcache predicted",
+            "dcache simulated",
+            "TLB predicted",
+            "TLB simulated",
+        ),
+    )
+
+    # 1. Sequential real*8 walk — §5's textbook case.
+    m = measure_stream(sequential_stream(300_000))
+    t.add_row(
+        "sequential real*8",
+        f"{SetAssociativeCache.sequential_miss_ratio(cfg.dcache):.2%}",
+        f"{m.dcache_miss_ratio:.2%}",
+        f"{TLB.sequential_miss_ratio(cfg.tlb):.3%}",
+        f"{m.tlb_miss_ratio:.3%}",
+    )
+
+    # 2. Large strides — §5's TLB warning.
+    for stride in (64, 512, 4096):
+        m = measure_stream(strided_stream(80_000, stride))
+        t.add_row(
+            f"stride {stride} B",
+            f"{SetAssociativeCache.strided_miss_ratio(cfg.dcache, stride):.2%}",
+            f"{m.dcache_miss_ratio:.2%}",
+            f"{TLB.strided_miss_ratio(cfg.tlb, stride):.3%}",
+            f"{m.tlb_miss_ratio:.3%}",
+        )
+
+    # 3. Cache blocking — how the 240 Mflops matmul earns its reuse.
+    m = measure_stream(blocked_stream(6, 128 * 1024, passes_per_block=8))
+    t.add_row(
+        "blocked 128 kB x8 passes",
+        "≈1/(32·8)",
+        f"{m.dcache_miss_ratio:.2%}",
+        "≈1/(512·8)",
+        f"{m.tlb_miss_ratio:.3%}",
+    )
+
+    # 4. Multiblock hopping — the workload's TLB-hostile shape (§7).
+    m = measure_stream(
+        multiblock_stream(rng, n_blocks=2048, block_bytes=64 * 1024, touches=4000, run_length=32)
+    )
+    t.add_row(
+        "multiblock hopping",
+        "(cache-friendly runs)",
+        f"{m.dcache_miss_ratio:.2%}",
+        "(page-hostile hops)",
+        f"{m.tlb_miss_ratio:.3%}",
+    )
+
+    # 5. Random touches over 64 MB — the wall.
+    m = measure_stream(random_stream(rng, 60_000, 64 << 20))
+    t.add_row("random over 64 MB", "≈100%", f"{m.dcache_miss_ratio:.0%}", "≈100%", f"{m.tlb_miss_ratio:.0%}")
+
+    print(t.render())
+    print(
+        "\n§5: 'a cache-miss every 32 elements and a TLB miss rate every 512\n"
+        "elements' — first row; 'high TLB miss rates from programs accessing\n"
+        "data with large memory strides' — the stride rows; the multiblock row\n"
+        "is why the workload's TLB ratio (0.1%) sits so far above the\n"
+        "cache-blocked codes in Table 4."
+    )
+
+
+if __name__ == "__main__":
+    main()

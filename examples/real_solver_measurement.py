@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""From real code to counter data — the full §4 pipeline on one program.
+
+Runs an actual NumPy Jacobi solver on the §6 champion's geometry
+(96×96×32 per node, 28 nodes, nearest-neighbour halos), then:
+
+1. verifies the numerics converge (it is a real solver, not a model);
+2. counts its per-sweep instructions from the stencil, costs them with
+   the POWER2 cycle model, and reports the predicted Mflops/node;
+3. wraps the counted mix as a PBS job profile, runs it through the
+   batch system with the RS2HPM prologue/epilogue, and compares the
+   *measured counter rates* with the prediction;
+4. compares both against the campaign's statistical champion app.
+
+Run::
+
+    python examples/real_solver_measurement.py
+"""
+
+import numpy as np
+
+from repro.cluster.machine import SP2Machine
+from repro.pbs.scheduler import PBSServer
+from repro.power2.pipeline import CycleModel
+from repro.sim.engine import Simulator
+from repro.util.rng import RngStreams
+from repro.workload.apps import application
+from repro.workload.profile import CommPattern, profile_from_mix
+from repro.workload.solver import DecomposedJacobi
+
+MB = 1024 * 1024
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Really solve something.
+    # ------------------------------------------------------------------
+    print("Convergence check on a small decomposed grid (8 ranks, 12^3 each)...")
+    demo = DecomposedJacobi((24, 24, 24), 8)
+    demo.set_uniform_load(1.0)
+    r1 = demo.iterate(1)
+    r300 = demo.iterate(299)
+    print(f"  max update after 1 sweep: {r1:.3e}; after 300: {r300:.3e} "
+          f"({'converging' if r300 < 0.5 * r1 else 'NOT converging'})")
+
+    print("\nInstrumented run at the champion's geometry (28 ranks, 96x96x32 each)...")
+    grid = (96 * 7, 96 * 2, 32 * 2)  # 28 = 7x2x2 ranks of 96x96x32
+    sim_solver = DecomposedJacobi(grid, 28, variables=25)
+    sim_solver.set_uniform_load(1.0)
+    sim_solver.iterate(3)  # really sweep a few times
+
+    # ------------------------------------------------------------------
+    # 2. Count and cost one sweep.
+    # ------------------------------------------------------------------
+    rank0 = sim_solver.solvers[0]
+    mix = rank0.sweep_mix()
+    result = CycleModel().execute(
+        mix, rank0.memory_behaviour(), rank0.dependency_profile()
+    )
+    print(
+        f"\nCounted sweep: {mix.flops / 1e6:.1f} Mflop, "
+        f"flops/memref {mix.flops / mix.memory_insts:.2f}; "
+        f"cycle model predicts {result.mflops:.1f} Mflops/node flat out."
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Run it as a batch job and measure with the counters.
+    # ------------------------------------------------------------------
+    halo = sim_solver.halo_bytes_per_iteration(0) / 6.0  # per neighbour
+    profile = profile_from_mix(
+        app_name="jacobi_real",
+        mix=mix,
+        memory=rank0.memory_behaviour(),
+        deps=rank0.dependency_profile(),
+        nodes=28,
+        iterations_mix_count=25.0,  # 25 variables sweep per iteration
+        walltime_seconds=3600.0,
+        memory_bytes_per_node=90 * MB,
+        comm=CommPattern(neighbors=6, bytes_per_neighbor=halo, asynchronous=True),
+    )
+    sim = Simulator()
+    server = PBSServer(sim, SP2Machine(28))
+    server.submit(0, "jacobi_real", 28, profile)
+    sim.run()
+    record = server.accounting.records[0]
+    print(
+        f"Batch run measured by RS2HPM: {record.mflops_per_node:.1f} Mflops/node "
+        f"over {record.walltime_seconds:.0f}s "
+        f"(comm fraction {profile.comm_fraction:.1%})."
+    )
+
+    # ------------------------------------------------------------------
+    # 4. Compare with the statistical champion.
+    # ------------------------------------------------------------------
+    champ = application("navier_stokes_async").instantiate(
+        RngStreams(1).get("champ"), nodes=28
+    )
+    print(
+        f"\nStatistical champion app at 28 nodes: {champ.mflops_per_node:.1f} "
+        f"Mflops/node; the instrumented Jacobi lands at "
+        f"{record.mflops_per_node:.1f} — same §6 regime, derived two "
+        "independent ways (paper: ≈40)."
+    )
+
+
+if __name__ == "__main__":
+    main()

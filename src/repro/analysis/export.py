@@ -1,0 +1,95 @@
+"""Machine-readable export of the study's artefacts.
+
+The paper's figures were hand-plotted from collected files; downstream
+users of this reproduction want the same data as CSV/JSON.  This module
+serializes tables (CSV), figures (CSV via ``FigureSeries.csv``) and a
+whole-campaign JSON summary suitable for dashboards or regression
+tracking.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.analysis.figures import figure1, figure2, figure3, figure4, figure5
+from repro.analysis.report import headline_report
+from repro.analysis.tables import busy_days
+from repro.core.study import StudyDataset
+from repro.util.tables import Table, _is_section
+
+
+def table_to_csv(table: Table) -> str:
+    """A Table as CSV; section rows become comment lines."""
+
+    def cell(c: object) -> str:
+        text = f"{c:.6g}" if isinstance(c, float) else str(c)
+        if "," in text or '"' in text:
+            text = '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(cell(c) for c in table.columns)]
+    for row in table.rows:
+        if _is_section(row):
+            lines.append(f"# {str(row[0]).strip('- ')}")
+        else:
+            lines.append(",".join(cell(c) for c in row))
+    return "\n".join(lines) + "\n"
+
+
+def dataset_summary(dataset: StudyDataset) -> dict[str, Any]:
+    """A JSON-ready summary of one campaign."""
+    daily = dataset.daily_gflops()
+    util = dataset.daily_utilization()[: len(daily)]
+    _, interval = dataset.interval_gflops()
+    acct = dataset.accounting
+
+    headlines = [
+        {
+            "claim": h.claim,
+            "paper": h.paper_value,
+            "measured": h.measured_value,
+            "unit": h.unit,
+            "ratio": h.ratio,
+        }
+        for h in headline_report(dataset)
+    ]
+    idx, _ = busy_days(dataset)
+
+    return {
+        "config": {
+            "seed": dataset.config.seed,
+            "n_days": dataset.config.n_days,
+            "n_nodes": dataset.config.n_nodes,
+            "n_users": dataset.config.n_users,
+        },
+        "campaign": {
+            "jobs_accounted": len(acct),
+            "daily_gflops_mean": float(daily.mean()) if daily.size else 0.0,
+            "daily_gflops_max": float(daily.max()) if daily.size else 0.0,
+            "utilization_mean": float(util.mean()) if util.size else 0.0,
+            "utilization_max": float(util.max()) if util.size else 0.0,
+            "interval_gflops_max": float(interval.max()) if interval.size else 0.0,
+            "busy_days": len(idx),
+            "time_weighted_mflops_per_node": acct.time_weighted_mflops_per_node(),
+        },
+        "headlines": headlines,
+    }
+
+
+def dataset_to_json(dataset: StudyDataset, *, indent: int = 2) -> str:
+    return json.dumps(dataset_summary(dataset), indent=indent) + "\n"
+
+
+def export_all_figures(dataset: StudyDataset) -> dict[str, str]:
+    """All five figures as ``{name: csv_text}``."""
+    return {
+        fig.name: fig.csv()
+        for fig in (
+            figure1(dataset),
+            figure2(dataset),
+            figure3(dataset),
+            figure4(dataset),
+            figure5(dataset),
+        )
+    }

@@ -1,0 +1,167 @@
+"""Figures 1–5 as data series with ASCII renders.
+
+Each generator returns a :class:`FigureSeries` holding the numeric data
+(the thing a plotting tool would consume, and what the tests assert on)
+plus a ``render()`` that draws the shape in a terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.study import StudyDataset
+from repro.util.asciiplot import ascii_histogram, ascii_scatter, ascii_series
+from repro.util.stats import moving_average
+
+#: Window used for the paper's moving-average curves.
+MOVING_AVERAGE_WINDOW = 14
+
+
+@dataclass
+class FigureSeries:
+    """One figure's data: named 1-D arrays plus how to draw them."""
+
+    name: str
+    title: str
+    series: dict[str, np.ndarray] = field(default_factory=dict)
+    kind: str = "line"  # line | histogram | scatter
+    xlabel: str = ""
+    ylabel: str = ""
+
+    def render(self, width: int = 72) -> str:
+        if self.kind == "histogram":
+            return ascii_histogram(
+                self.series["x"].tolist(), self.series["y"], title=self.title, width=width
+            )
+        if self.kind == "scatter":
+            return ascii_scatter(
+                self.series["x"], self.series["y"], title=self.title, width=width
+            )
+        # Line: plot the primary series; callers can render others too.
+        primary = next(iter(self.series.values()))
+        return ascii_series(primary, title=self.title, width=width)
+
+    def csv(self) -> str:
+        """Comma-separated dump, one column per series."""
+        keys = list(self.series)
+        rows = [",".join(keys)]
+        n = max(len(v) for v in self.series.values())
+        for i in range(n):
+            rows.append(
+                ",".join(
+                    f"{self.series[k][i]:.6g}" if i < len(self.series[k]) else ""
+                    for k in keys
+                )
+            )
+        return "\n".join(rows) + "\n"
+
+
+def figure1(dataset: StudyDataset) -> FigureSeries:
+    """Figure 1: daily Gflops, its moving average, and the utilization
+    moving average over the campaign."""
+    daily = dataset.daily_gflops()
+    util = dataset.daily_utilization()[: len(daily)]
+    return FigureSeries(
+        name="figure1",
+        title="NAS SP2 System Performance History",
+        kind="line",
+        xlabel="Number of Days",
+        ylabel="System Performance (GFLOPS)",
+        series={
+            "daily_gflops": daily,
+            "daily_gflops_moving_avg": moving_average(daily, MOVING_AVERAGE_WINDOW),
+            "utilization_moving_avg": moving_average(util, MOVING_AVERAGE_WINDOW),
+        },
+    )
+
+
+def figure2(dataset: StudyDataset) -> FigureSeries:
+    """Figure 2: batch-job walltime vs nodes requested (>600 s jobs)."""
+    bins = dataset.accounting.walltime_by_nodes()
+    return FigureSeries(
+        name="figure2",
+        title="Batch Job Walltime as a Function of Nodes Requested",
+        kind="histogram",
+        xlabel="Number of Nodes",
+        ylabel="Walltime (Seconds)",
+        series={
+            "x": np.array([b.nodes for b in bins]),
+            "y": np.array([b.total_walltime_seconds for b in bins]),
+        },
+    )
+
+
+def figure3(dataset: StudyDataset) -> FigureSeries:
+    """Figure 3: per-node job performance vs nodes requested."""
+    recs = dataset.accounting.filtered()
+    return FigureSeries(
+        name="figure3",
+        title="Batch Job Performance vs Nodes Requested",
+        kind="scatter",
+        xlabel="Number of Nodes",
+        ylabel="Performance (Mflops per Node)",
+        series={
+            "x": np.array([r.nodes_requested for r in recs], dtype=float),
+            "y": np.array([r.mflops_per_node for r in recs]),
+        },
+    )
+
+
+def figure4(dataset: StudyDataset, nodes: int = 16) -> FigureSeries:
+    """Figure 4: whole-job Mflops history for one node count (16 is the
+    paper's most popular choice) plus its moving average."""
+    recs = dataset.accounting.history_for_nodes(nodes)
+    rates = np.array([r.total_mflops for r in recs])
+    return FigureSeries(
+        name="figure4",
+        title=f"NAS SP2 {nodes}-node Performance Histories",
+        kind="line",
+        xlabel="Batch Job Number",
+        ylabel="Job Performance Rate (Mflops)",
+        series={
+            "job_mflops": rates,
+            "job_mflops_moving_avg": moving_average(rates, 25)
+            if rates.size
+            else rates,
+            "job_ids": np.array([r.job_id for r in recs], dtype=float),
+        },
+    )
+
+
+def figure4_all_node_counts(
+    dataset: StudyDataset, *, min_jobs: int = 10
+) -> dict[int, FigureSeries]:
+    """Figure 4 for every node count with enough history.
+
+    §6: "Similar trends occur for other processor counts" — this is the
+    check: each popular node count's history should be flat (no
+    improvement over time), not just the 16-node one.
+    """
+    counts = sorted(
+        {r.nodes_requested for r in dataset.accounting.filtered()}
+    )
+    out: dict[int, FigureSeries] = {}
+    for nodes in counts:
+        fig = figure4(dataset, nodes=nodes)
+        if len(fig.series["job_mflops"]) >= min_jobs:
+            out[nodes] = fig
+    return out
+
+
+def figure5(dataset: StudyDataset) -> FigureSeries:
+    """Figure 5: per-day node performance vs system/user FXU ratio —
+    the paging diagnosis (§6)."""
+    rates = dataset.daily_rates()
+    x = np.array([r.system_user_fxu_ratio for r in rates])
+    y = np.array([r.mflops_total for r in rates])
+    finite = np.isfinite(x)
+    return FigureSeries(
+        name="figure5",
+        title="Node Performance vs System Intervention",
+        kind="scatter",
+        xlabel="Ratio of (System FXU)/(User FXU)",
+        ylabel="Performance (MFLOPS per Node)",
+        series={"x": x[finite], "y": y[finite]},
+    )

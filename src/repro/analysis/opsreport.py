@@ -1,0 +1,116 @@
+"""Daily operations report — the "system personnel" view (§3).
+
+The prologue/epilogue files were "for later processing and viewing by
+both users and system personnel"; this module is the system-personnel
+side: one plain-text report per campaign day with the day's rates, the
+jobs that finished, the paging suspects, and the current machine state —
+the report an operator would read each morning to spot the §6 pathology
+before users complained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.study import StudyDataset
+from repro.hpm.derived import DerivedRates
+from repro.pbs.job import JobRecord
+from repro.workload.traces import SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class DayOps:
+    """One day's operational facts."""
+
+    day: int
+    gflops: float
+    utilization: float
+    jobs_finished: int
+    node_seconds: float
+    paging_suspects: tuple[JobRecord, ...]
+    top_jobs: tuple[JobRecord, ...]
+    rates: DerivedRates
+
+    @property
+    def healthy(self) -> bool:
+        return not self.paging_suspects and self.rates.system_user_fxu_ratio < 0.2
+
+
+def day_ops(dataset: StudyDataset, day: int, *, top_n: int = 3) -> DayOps:
+    """Assemble one day's operations report data."""
+    daily = dataset.daily_rates()
+    if not 0 <= day < len(daily):
+        raise IndexError(f"day {day} outside the campaign ({len(daily)} days)")
+    rates = daily[day]
+    util = dataset.daily_utilization()
+    start, end = day * SECONDS_PER_DAY, (day + 1) * SECONDS_PER_DAY
+
+    finished = [
+        r for r in dataset.accounting.records if start <= r.end_time < end
+    ]
+    finished.sort(key=lambda r: r.total_mflops, reverse=True)
+    suspects = tuple(
+        r
+        for r in finished
+        if np.isfinite(r.system_user_fxu_ratio) and r.system_user_fxu_ratio > 0.5
+    )
+    return DayOps(
+        day=day,
+        gflops=rates.gflops_system(),
+        utilization=float(util[day]) if day < len(util) else 0.0,
+        jobs_finished=len(finished),
+        node_seconds=float(sum(r.node_seconds for r in finished)),
+        paging_suspects=suspects,
+        top_jobs=tuple(finished[:top_n]),
+        rates=rates,
+    )
+
+
+def render_day_report(ops: DayOps) -> str:
+    """The morning report text."""
+    r = ops.rates
+    lines = [
+        f"=== NAS SP2 operations report, day {ops.day} ===",
+        f"performance : {ops.gflops:.2f} Gflops system "
+        f"({r.mflops_total:.1f} Mflops/node), utilization {ops.utilization:.0%}",
+        f"workload    : {ops.jobs_finished} jobs finished, "
+        f"{ops.node_seconds / 3600:.0f} node-hours",
+        f"memory      : dcache {r.dcache_miss_rate:.2f} M/s, "
+        f"tlb {r.tlb_miss_rate:.3f} M/s, "
+        f"sys/user FXU {r.system_user_fxu_ratio:.2f}",
+        f"i/o         : dma {r.dma_read_rate + r.dma_write_rate:.3f} MT/s "
+        f"({r.dma_bytes_per_s / 1e6:.2f} MB/s per node)",
+    ]
+    if ops.top_jobs:
+        lines.append("top jobs    :")
+        for rec in ops.top_jobs:
+            lines.append(
+                f"  #{rec.job_id:<6d} {rec.app_name:<20s} {rec.nodes_requested:>3d} nodes  "
+                f"{rec.total_mflops:7.1f} Mflops  ({rec.mflops_per_node:.1f}/node)"
+            )
+    if ops.paging_suspects:
+        lines.append("PAGING SUSPECTS (system FXU rivals user FXU, see §6):")
+        for rec in ops.paging_suspects:
+            lines.append(
+                f"  #{rec.job_id:<6d} {rec.app_name:<20s} {rec.nodes_requested:>3d} nodes  "
+                f"sys/user {rec.system_user_fxu_ratio:5.2f}  "
+                f"{rec.mflops_per_node:.2f} Mflops/node"
+            )
+    else:
+        lines.append("paging      : no suspects")
+    return "\n".join(lines)
+
+
+def campaign_ops_digest(dataset: StudyDataset) -> str:
+    """One line per day — the wall chart."""
+    out = []
+    for day in range(len(dataset.daily_rates())):
+        ops = day_ops(dataset, day)
+        flag = " " if ops.healthy else "!"
+        out.append(
+            f"{flag} day {day:3d}  {ops.gflops:5.2f} Gflops  util {ops.utilization:4.0%}  "
+            f"{ops.jobs_finished:3d} jobs  suspects {len(ops.paging_suspects)}"
+        )
+    return "\n".join(out)

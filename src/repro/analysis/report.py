@@ -1,0 +1,174 @@
+"""Headline numbers and the paper-vs-measured comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import busy_days
+from repro.core.study import StudyDataset
+from repro.power2.config import POWER2_590
+
+
+@dataclass(frozen=True)
+class Headline:
+    """One claim from the paper, with our measured counterpart."""
+
+    claim: str
+    paper_value: float
+    measured_value: float
+    unit: str
+
+    @property
+    def ratio(self) -> float:
+        if self.paper_value == 0:
+            return float("inf") if self.measured_value else 1.0
+        return self.measured_value / self.paper_value
+
+    def line(self) -> str:
+        return (
+            f"{self.claim:<48s} paper {self.paper_value:>8.3g} {self.unit:<10s}"
+            f" measured {self.measured_value:>8.3g}  (x{self.ratio:.2f})"
+        )
+
+
+def headline_report(dataset: StudyDataset) -> list[Headline]:
+    """Every §5–§7 headline number, paper vs measured."""
+    daily = dataset.daily_gflops()
+    util = dataset.daily_utilization()[: len(daily)]
+    _, rates = busy_days(dataset)
+    _, interval = dataset.interval_gflops()
+    acct = dataset.accounting
+
+    peak_gflops = dataset.config.n_nodes * POWER2_590.peak_mflops / 1e3
+    mean_gflops = float(daily.mean()) if daily.size else 0.0
+
+    _, dma = dataset.interval_dma_bytes_per_node()
+
+    out = [
+        Headline("average daily system performance", 1.3, mean_gflops, "Gflops"),
+        Headline(
+            "system efficiency (of aggregate peak)",
+            0.03,
+            mean_gflops / peak_gflops if peak_gflops else 0.0,
+            "fraction",
+        ),
+        Headline("machine average utilization", 0.64, float(util.mean()) if util.size else 0.0, "fraction"),
+        Headline("maximum daily utilization", 0.95, float(util.max()) if util.size else 0.0, "fraction"),
+        Headline("maximum 24-hour rate", 3.4, float(daily.max()) if daily.size else 0.0, "Gflops"),
+        Headline(
+            "maximum 15-minute rate", 5.7, float(interval.max()) if interval.size else 0.0, "Gflops"
+        ),
+        Headline(
+            "time-weighted batch-job rate", 19.0, acct.time_weighted_mflops_per_node(), "Mflops/node"
+        ),
+        Headline(
+            "batch-job flops per memory instruction",
+            1.0,
+            acct.mean_flops_per_memref(),
+            "ratio",
+        ),
+        Headline(
+            "fma fraction of the best-decile jobs",
+            0.80,
+            acct.top_decile_fma_fraction(),
+            "fraction",
+        ),
+        # §5 cannot separate message, disk and paging DMA, and neither
+        # can we: both numbers are all-causes DMA traffic per node.
+        Headline(
+            "max 15-minute DMA traffic per node",
+            5.4,
+            float(dma.max()) / 1e6 if dma.size else 0.0,
+            "MB/s",
+        ),
+    ]
+    if rates:
+        out += [
+            Headline(
+                "busy-day (>2 Gflops) mean performance",
+                2.5,
+                float(np.mean([r.gflops_system() for r in rates])),
+                "Gflops",
+            ),
+            Headline(
+                "busy-day DMA traffic per node",
+                1.3,
+                float(np.mean([r.dma_bytes_per_s for r in rates])) / 1e6,
+                "MB/s",
+            ),
+            Headline(
+                "fma fraction of workload flops",
+                0.54,
+                float(np.mean([r.fma_flop_fraction for r in rates])),
+                "fraction",
+            ),
+            Headline(
+                "FPU0:FPU1 instruction ratio",
+                1.7,
+                float(np.mean([r.fpu_ratio for r in rates])),
+                "ratio",
+            ),
+            Headline(
+                "flops per memory instruction",
+                0.53,
+                float(np.mean([r.flops_per_memory_inst for r in rates])),
+                "ratio",
+            ),
+            Headline(
+                "cache miss ratio (lower bound)",
+                0.010,
+                float(np.mean([r.dcache_miss_ratio for r in rates])),
+                "fraction",
+            ),
+            Headline(
+                "TLB miss ratio (lower bound)",
+                0.001,
+                float(np.mean([r.tlb_miss_ratio for r in rates])),
+                "fraction",
+            ),
+            Headline(
+                "branch fraction of instructions",
+                0.11,
+                float(np.mean([r.branch_fraction for r in rates])),
+                "fraction",
+            ),
+            Headline(
+                "delay per memory instruction",
+                0.12,
+                float(np.mean([r.delay_per_memory_inst() for r in rates])),
+                "cycles",
+            ),
+            # §5: "This performance rate corresponds to about 1 FLOP
+            # every 4 cycles" on the busy days.
+            Headline(
+                "cycles per flop (busy days)",
+                4.0,
+                float(
+                    POWER2_590.clock_hz
+                    / np.mean([r.mflops_total for r in rates])
+                    / 1e6
+                ),
+                "cycles",
+            ),
+        ]
+    try:
+        out.append(
+            Headline(
+                "most popular node count",
+                16,
+                float(acct.most_popular_nodes()),
+                "nodes",
+            )
+        )
+    except ValueError:
+        pass
+    return out
+
+
+def paper_comparison(dataset: StudyDataset) -> str:
+    """Human-readable headline block (printed by the bench harness)."""
+    lines = ["Paper vs measured (this campaign):", ""]
+    lines += [h.line() for h in headline_report(dataset)]
+    return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Tables 1–4.
+
+Each generator returns a :class:`repro.util.tables.Table` whose rows
+match the paper's layout; the benchmark harness prints them next to the
+paper's values (recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.study import StudyDataset
+from repro.hpm.derived import DerivedRates
+from repro.hpm.events import table1_rows
+from repro.power2.config import POWER2_590
+from repro.power2.pipeline import CycleModel
+from repro.util.stats import summary
+from repro.util.tables import Table
+from repro.workload.kernels import kernel
+
+#: §5's filter for Tables 2/3: days whose system rate exceeds 2 Gflops.
+BUSY_DAY_GFLOPS = 2.0
+
+#: The paper reports one representative day labelled "Day 45.0".
+REPRESENTATIVE_DAY = 45
+
+
+def table1() -> Table:
+    """Table 1: the NAS counter selection."""
+    t = Table(
+        title="Table 1: NAS SP2 RS2HPM Counters",
+        columns=("Counter", "Label", "Description"),
+    )
+    for label, slot, desc in table1_rows():
+        t.add_row(label, slot, desc)
+    return t
+
+
+def busy_days(dataset: StudyDataset) -> tuple[list[int], list[DerivedRates]]:
+    """Indices and rates of the days above the 2 Gflops filter."""
+    rates = dataset.daily_rates()
+    idx = [i for i, r in enumerate(rates) if r.gflops_system() > BUSY_DAY_GFLOPS]
+    return idx, [rates[i] for i in idx]
+
+
+def _representative(
+    dataset: StudyDataset, idx: list[int], rates: list[DerivedRates]
+) -> DerivedRates:
+    """The "Day 45" column: campaign day 45 if it passed the filter,
+    otherwise the filtered day closest to the filtered-mean Mflops."""
+    if REPRESENTATIVE_DAY in idx:
+        return rates[idx.index(REPRESENTATIVE_DAY)]
+    mean = float(np.mean([r.mflops_total for r in rates]))
+    return min(rates, key=lambda r: abs(r.mflops_total - mean))
+
+
+def table2(dataset: StudyDataset) -> Table:
+    """Table 2: Mips / Mops / Mflops over the >2 Gflops days."""
+    idx, rates = busy_days(dataset)
+    if not rates:
+        raise ValueError("no day exceeded the 2 Gflops filter; run a longer campaign")
+    day = _representative(dataset, idx, rates)
+    t = Table(
+        title=f"Table 2: Measured Major Rates for NAS Workload "
+        f"({len(rates)} of {len(dataset.daily_rates())} days > {BUSY_DAY_GFLOPS} Gflops)",
+        columns=("Rates", "Day 45.0", "Avg Rate", "Std"),
+    )
+    for label, get in (
+        ("Mips", lambda r: r.mips_total),
+        ("Mops", lambda r: r.mops_total),
+        ("Mflops", lambda r: r.mflops_total),
+    ):
+        s = summary([get(r) for r in rates])
+        t.add_row(label, get(day), s.mean, s.std)
+    return t
+
+
+def table3(dataset: StudyDataset) -> Table:
+    """Table 3: the full per-unit breakdown over the >2 Gflops days."""
+    idx, rates = busy_days(dataset)
+    if not rates:
+        raise ValueError("no day exceeded the 2 Gflops filter; run a longer campaign")
+    day = _representative(dataset, idx, rates)
+    t = Table(
+        title="Table 3: Measured Major Rates for NAS Workload (breakdown)",
+        columns=("Rates", "Day 45.0", "Avg", "Std"),
+    )
+
+    def rows(section: str, entries: list[tuple[str, object]]) -> None:
+        t.add_section(section)
+        for label, get in entries:
+            s = summary([get(r) for r in rates])
+            t.add_row(label, get(day), s.mean, s.std)
+
+    rows(
+        "OPS",
+        [
+            ("Mflops-All", lambda r: r.mflops_total),
+            ("Mflops-add", lambda r: r.mflops_add),
+            ("Mflops-div", lambda r: r.mflops_div),
+            ("Mflops-mult", lambda r: r.mflops_mul),
+            ("Mflops-fma", lambda r: r.mflops_fma),
+        ],
+    )
+    rows(
+        "INST",
+        [
+            ("Mips-Floating Point (Total)", lambda r: r.mips_fp_total),
+            ("Mips-Floating Point (Unit 0)", lambda r: r.mips_fp_unit0),
+            ("Mips-Floating Point (Unit 1)", lambda r: r.mips_fp_unit1),
+            ("Mips-Fixed Point Unit (Total)", lambda r: r.mips_fxu_total),
+            ("Mips-Fixed Point (Unit 1)", lambda r: r.mips_fxu_unit1),
+            ("Mips-Fixed Point (Unit 0)", lambda r: r.mips_fxu_unit0),
+            ("Mips-Inst Cache Unit", lambda r: r.mips_icu),
+        ],
+    )
+    rows(
+        "CACHE",
+        [
+            ("Data Cache Misses-Million/S", lambda r: r.dcache_miss_rate),
+            ("TLB-Million/S", lambda r: r.tlb_miss_rate),
+            ("Instruction Cache Misses-Million/S", lambda r: r.icache_miss_rate),
+        ],
+    )
+    rows(
+        "I/O",
+        [
+            ("DMA reads-MTransfer/S", lambda r: r.dma_read_rate),
+            ("DMA writes-MTransfer/S", lambda r: r.dma_write_rate),
+        ],
+    )
+    return t
+
+
+def table4(dataset: StudyDataset) -> Table:
+    """Table 4: hierarchical memory performance.
+
+    Three columns, as in the paper:
+
+    * the NAS workload (filtered-day counter ratios);
+    * the analytic no-reuse sequential access bound;
+    * NPB BT on 49 CPUs (the ``npb_bt`` kernel through the cycle model).
+    """
+    _, rates = busy_days(dataset)
+    if not rates:
+        raise ValueError("no day exceeded the 2 Gflops filter; run a longer campaign")
+    wl_cache = float(np.mean([r.dcache_miss_ratio for r in rates]))
+    wl_tlb = float(np.mean([r.tlb_miss_ratio for r in rates]))
+    wl_mflops = float(np.mean([r.mflops_total for r in rates]))
+
+    cfg = POWER2_590
+    seq = kernel("sequential_access")
+    seq_cache = seq.access.dcache_miss_ratio(cfg)
+    seq_tlb = seq.access.tlb_miss_ratio(cfg)
+
+    bt = kernel("npb_bt")
+    model = CycleModel(cfg)
+    bt_result = model.execute(bt.mix_for_flops(1e8), bt.memory_behaviour(cfg), bt.deps)
+    bt_cache = bt.access.dcache_miss_ratio(cfg)
+    bt_tlb = bt.access.tlb_miss_ratio(cfg)
+
+    t = Table(
+        title="Table 4: Hierarchical Memory Performance",
+        columns=("Rate", "NAS Workload", "Sequential Access", "NPB BT on 49 CPUs"),
+    )
+    t.add_row(
+        "Cache Miss Ratio",
+        f"{wl_cache:.1%}",
+        f"{seq_cache:.1%}",
+        f"{bt_cache:.1%}",
+    )
+    t.add_row("TLB Miss Ratio", f"{wl_tlb:.2%}", f"{seq_tlb:.2%}", f"{bt_tlb:.2%}")
+    t.add_row("Mflops/CPU", wl_mflops, "", bt_result.mflops)
+    return t

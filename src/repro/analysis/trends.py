@@ -1,0 +1,171 @@
+"""Trend analysis — §5's "no obvious trends" finding, quantified.
+
+The paper looked for single-variable predictors of daily performance and
+found none: "workloads executing a greater fraction of floating-point
+operations in the fma unit should display a higher performance rate, but
+NAS workload measurements have yet to display such a trend.  The lack of
+obvious trends such as reductions in performance rates with increasing
+cache and/or TLB miss rates is difficult to analyze since the NAS
+22-counter selection excluded performance reducing factors such as
+message-passing delays and I/O wait times."
+
+This module runs that search over a campaign's daily data: correlations
+of per-node Mflops against each candidate predictor the counters offer.
+The reproduction's expectation (and finding, see
+``benchmarks/bench_trends.py``): the §5 CPU-side predictors (fma
+fraction, miss *ratios*) are weak, because wall-time effects the
+counters cannot see (waits, load, paging) dominate — while the
+system-intervention ratio, the §6 discovery, is the one strong signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.study import StudyDataset
+
+
+@dataclass(frozen=True)
+class TrendLine:
+    """One candidate predictor of daily per-node Mflops."""
+
+    predictor: str
+    correlation: float
+    #: What §5's reasoning expected the sign to be.
+    expected_sign: int
+
+    @property
+    def is_obvious_trend(self) -> bool:
+        """The paper's bar: a trend you could see in a scatter plot."""
+        return abs(self.correlation) >= 0.5
+
+    def line(self) -> str:
+        expect = {1: "+", -1: "-", 0: "·"}[self.expected_sign]
+        verdict = "TREND" if self.is_obvious_trend else "no obvious trend"
+        return (
+            f"{self.predictor:<34s} expected {expect}   "
+            f"r = {self.correlation:+.2f}   {verdict}"
+        )
+
+
+def _corr(x: np.ndarray, y: np.ndarray) -> float:
+    if x.size < 3 or x.std() == 0 or y.std() == 0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def trend_report(dataset: StudyDataset, *, min_mflops: float = 1.0) -> list[TrendLine]:
+    """Correlate daily per-node Mflops with each counter-side predictor.
+
+    Days with almost no floating-point work are dropped (their ratios
+    are noise), as the paper's busy-day filtering did.
+    """
+    rates = dataset.daily_rates()
+    keep = [r for r in rates if r.mflops_total >= min_mflops]
+    if len(keep) < 5:
+        raise ValueError("need at least five active days for trend analysis")
+    mflops = np.array([r.mflops_total for r in keep])
+
+    candidates: list[tuple[str, np.ndarray, int]] = [
+        (
+            "fma flop fraction",
+            np.array([r.fma_flop_fraction for r in keep]),
+            +1,
+        ),
+        (
+            "cache miss ratio",
+            np.array([r.dcache_miss_ratio for r in keep]),
+            -1,
+        ),
+        (
+            "TLB miss ratio",
+            np.array([r.tlb_miss_ratio for r in keep]),
+            -1,
+        ),
+        (
+            "flops per memory instruction",
+            np.array([r.flops_per_memory_inst for r in keep]),
+            +1,
+        ),
+        (
+            "FPU0:FPU1 ratio",
+            np.array(
+                [r.fpu_ratio if np.isfinite(r.fpu_ratio) else 0.0 for r in keep]
+            ),
+            -1,
+        ),
+        (
+            "system/user FXU ratio",
+            np.array([r.system_user_fxu_ratio for r in keep]),
+            -1,
+        ),
+        (
+            "user cycle fraction",
+            np.array([r.user_cycle_fraction for r in keep]),
+            +1,
+        ),
+    ]
+    return [
+        TrendLine(predictor=name, correlation=_corr(x, mflops), expected_sign=sign)
+        for name, x, sign in candidates
+    ]
+
+
+@dataclass(frozen=True)
+class UserHistory:
+    """One user's job-rate history over the campaign."""
+
+    user: int
+    n_jobs: int
+    mean_mflops_per_node: float
+    #: Slope of a least-squares fit of Mflops/node against job sequence,
+    #: normalized by the mean — fractional improvement per job.
+    improvement_per_job: float
+
+
+def user_histories(dataset: StudyDataset, *, min_jobs: int = 8) -> list[UserHistory]:
+    """Per-user performance histories — §6 at user granularity.
+
+    The machine was configured for code development, so "users would
+    presumably improve performance over time"; Figure 4 shows they did
+    not, in aggregate.  This checks the stronger per-user version: does
+    *any* user's job history trend upward?
+    """
+    by_user: dict[int, list[float]] = {}
+    for rec in dataset.accounting.filtered():
+        by_user.setdefault(rec.user, []).append(rec.mflops_per_node)
+    out = []
+    for user, rates in sorted(by_user.items()):
+        if len(rates) < min_jobs:
+            continue
+        y = np.asarray(rates)
+        x = np.arange(y.size, dtype=float)
+        slope = float(np.polyfit(x, y, 1)[0])
+        mean = float(y.mean())
+        out.append(
+            UserHistory(
+                user=user,
+                n_jobs=y.size,
+                mean_mflops_per_node=mean,
+                improvement_per_job=slope / mean if mean > 0 else 0.0,
+            )
+        )
+    return out
+
+
+def render_trend_report(trends: list[TrendLine]) -> str:
+    lines = [
+        "Daily per-node Mflops vs counter-side predictors (§5's trend search):",
+        "",
+    ]
+    lines += ["  " + t.line() for t in trends]
+    weak = [t for t in trends if not t.is_obvious_trend]
+    lines += [
+        "",
+        f"{len(weak)}/{len(trends)} predictors show no obvious trend — §5's "
+        "conclusion: the 22-counter selection excluded the factors "
+        "(waits, load, paging) that actually move daily performance.",
+    ]
+    return "\n".join(lines)

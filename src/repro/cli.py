@@ -1,0 +1,107 @@
+"""``sp2-study`` — run a campaign and print the paper's artefacts.
+
+Examples::
+
+    sp2-study --days 30 --seed 1                  # headlines only
+    sp2-study --days 270 --tables --figures       # the full paper
+    sp2-study --days 30 --csv-dir out/            # dump figure CSVs
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.analysis import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    paper_comparison,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.core.study import run_study
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="sp2-study",
+        description="Replay the NAS SP2 RS2HPM measurement campaign on the simulator.",
+    )
+    p.add_argument("--seed", type=int, default=0, help="campaign seed (default 0)")
+    p.add_argument("--days", type=int, default=30, help="campaign length in days")
+    p.add_argument("--nodes", type=int, default=144, help="cluster size")
+    p.add_argument("--users", type=int, default=60, help="user population size")
+    p.add_argument("--tables", action="store_true", help="print Tables 1-4")
+    p.add_argument("--figures", action="store_true", help="print ASCII Figures 1-5")
+    p.add_argument(
+        "--csv-dir", type=pathlib.Path, default=None, help="write figure CSVs here"
+    )
+    p.add_argument(
+        "--json", type=pathlib.Path, default=None, help="write a campaign summary JSON here"
+    )
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    t0 = time.time()
+    print(
+        f"Running {args.days}-day campaign on {args.nodes} nodes "
+        f"(seed {args.seed}, {args.users} users)...",
+        file=sys.stderr,
+    )
+    dataset = run_study(
+        args.seed, n_days=args.days, n_nodes=args.nodes, n_users=args.users
+    )
+    print(f"Campaign done in {time.time() - t0:.1f}s.", file=sys.stderr)
+
+    print(paper_comparison(dataset))
+
+    if args.tables:
+        print()
+        print(table1().render())
+        for gen in (table2, table3, table4):
+            print()
+            try:
+                print(gen(dataset).render())
+            except ValueError as err:
+                print(f"({gen.__name__} unavailable: {err})")
+
+    figures = [
+        figure1(dataset),
+        figure2(dataset),
+        figure3(dataset),
+        figure4(dataset),
+        figure5(dataset),
+    ]
+    if args.figures:
+        for fig in figures:
+            print()
+            print(fig.render())
+
+    if args.csv_dir is not None:
+        args.csv_dir.mkdir(parents=True, exist_ok=True)
+        for fig in figures:
+            path = args.csv_dir / f"{fig.name}.csv"
+            path.write_text(fig.csv())
+            print(f"wrote {path}", file=sys.stderr)
+
+    if args.json is not None:
+        from repro.analysis.export import dataset_to_json
+
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(dataset_to_json(dataset))
+        print(f"wrote {args.json}", file=sys.stderr)
+
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,95 @@
+"""NFS home filesystems.
+
+§2: "The NAS SP2 provided an NFS-mounted external filesystem accessible
+by all nodes with 3 home filesystems of 8 GB each.  Data transfers from
+the SP2 nodes to the home filesystems also occurred over the switch."
+
+§5 adds the measured consequence: disk traffic appears in the DMA
+read/write counters, averaging ≈3.2 MB/s system-wide.  The model tracks
+capacity, serves reads/writes at a server-limited rate plus the switch
+transfer time, and reports the byte flows the node layer converts to
+DMA transfer counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.switch import HighPerformanceSwitch
+
+
+@dataclass
+class FileServer:
+    """One 8 GB home filesystem server."""
+
+    name: str
+    capacity_bytes: float = 8e9
+    #: Sustained server disk rate (mid-90s SCSI array).
+    disk_rate_bytes_per_s: float = 12e6
+    used_bytes: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+
+    def allocate(self, nbytes: float) -> None:
+        if nbytes < 0:
+            raise ValueError("cannot allocate negative bytes")
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise OSError(
+                f"filesystem {self.name} full: "
+                f"{self.used_bytes + nbytes:.3g} > {self.capacity_bytes:.3g} B"
+            )
+        self.used_bytes += nbytes
+
+    def free(self, nbytes: float) -> None:
+        self.used_bytes = max(0.0, self.used_bytes - nbytes)
+
+
+class NFSFilesystem:
+    """The trio of NFS home filesystems reached over the switch."""
+
+    def __init__(
+        self,
+        switch: HighPerformanceSwitch,
+        *,
+        n_servers: int = 3,
+        capacity_bytes: float = 8e9,
+    ) -> None:
+        if n_servers <= 0:
+            raise ValueError("need at least one file server")
+        self.switch = switch
+        self.servers = [
+            FileServer(name=f"home{i}", capacity_bytes=capacity_bytes)
+            for i in range(n_servers)
+        ]
+        self._rr = 0
+
+    def server_for(self, owner: int) -> FileServer:
+        """Home filesystems were assigned per user; hash by owner id."""
+        return self.servers[int(owner) % len(self.servers)]
+
+    def transfer_seconds(self, nbytes: float, server: FileServer) -> float:
+        """Wall time for a transfer: switch time + server disk time.
+
+        NFS serializes the two (request over the switch, then the disk),
+        so the costs add; for the multi-megabyte CFD restart files both
+        terms matter.
+        """
+        if nbytes < 0:
+            raise ValueError("transfer size cannot be negative")
+        return self.switch.message_seconds(nbytes) + nbytes / server.disk_rate_bytes_per_s
+
+    def read(self, owner: int, nbytes: float) -> float:
+        """A node reads from its home filesystem; returns wall seconds."""
+        server = self.server_for(owner)
+        server.bytes_read += nbytes
+        return self.transfer_seconds(nbytes, server)
+
+    def write(self, owner: int, nbytes: float) -> float:
+        """A node writes to its home filesystem; returns wall seconds."""
+        server = self.server_for(owner)
+        server.bytes_written += nbytes
+        return self.transfer_seconds(nbytes, server)
+
+    @property
+    def total_bytes_moved(self) -> float:
+        return sum(s.bytes_read + s.bytes_written for s in self.servers)

@@ -1,0 +1,107 @@
+"""The assembled SP2: 144 nodes, one switch, the NFS home filesystems.
+
+This is the object PBS schedules onto and the RS2HPM collector samples.
+Node allocation here is pure bookkeeping (which nodes are free); the
+*policy* lives in :mod:`repro.pbs.scheduler`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.cluster.filesystem import NFSFilesystem
+from repro.cluster.switch import HighPerformanceSwitch
+from repro.power2.config import MachineConfig, POWER2_590
+from repro.power2.node import Node, PhaseKind, WorkPhase
+
+#: The NAS SP2 size.
+NAS_NODE_COUNT = 144
+
+
+class SP2Machine:
+    """A distributed-memory RS6000/590 cluster."""
+
+    def __init__(
+        self,
+        n_nodes: int = NAS_NODE_COUNT,
+        config: MachineConfig | None = None,
+    ) -> None:
+        if n_nodes <= 0:
+            raise ValueError("machine needs at least one node")
+        self.config = config or POWER2_590
+        self.nodes: list[Node] = [Node(i, self.config) for i in range(n_nodes)]
+        self.switch = HighPerformanceSwitch()
+        self.filesystem = NFSFilesystem(self.switch)
+        self._free: set[int] = set(range(n_nodes))
+        self._allocations: dict[int, tuple[int, ...]] = {}
+        self._next_alloc_id = 0
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def n_free(self) -> int:
+        return len(self._free)
+
+    @property
+    def peak_gflops(self) -> float:
+        """Aggregate peak: 144 × 267 Mflops ≈ 38.4 Gflops for NAS."""
+        return self.n_nodes * self.config.peak_mflops / 1e3
+
+    # ------------------------------------------------------------------
+    # Allocation bookkeeping (users got dedicated nodes, §2)
+    # ------------------------------------------------------------------
+    def allocate(self, n_nodes: int) -> tuple[int, tuple[int, ...]]:
+        """Reserve ``n_nodes`` dedicated nodes; returns (alloc_id, node ids).
+
+        Raises :class:`RuntimeError` if not enough nodes are free — the
+        scheduler is responsible for not over-committing.
+        """
+        if n_nodes <= 0:
+            raise ValueError("must allocate at least one node")
+        if n_nodes > len(self._free):
+            raise RuntimeError(
+                f"requested {n_nodes} nodes but only {len(self._free)} free"
+            )
+        chosen = tuple(sorted(self._free)[:n_nodes])
+        self._free.difference_update(chosen)
+        alloc_id = self._next_alloc_id
+        self._next_alloc_id += 1
+        self._allocations[alloc_id] = chosen
+        return alloc_id, chosen
+
+    def release(self, alloc_id: int) -> tuple[int, ...]:
+        """Return an allocation's nodes to the free pool."""
+        try:
+            nodes = self._allocations.pop(alloc_id)
+        except KeyError:
+            raise KeyError(f"unknown allocation id {alloc_id}") from None
+        overlap = self._free.intersection(nodes)
+        if overlap:
+            raise RuntimeError(f"nodes {sorted(overlap)} double-freed")
+        self._free.update(nodes)
+        return nodes
+
+    def allocation_nodes(self, alloc_id: int) -> tuple[int, ...]:
+        return self._allocations[alloc_id]
+
+    def busy_node_ids(self) -> set[int]:
+        return set(range(self.n_nodes)) - self._free
+
+    # ------------------------------------------------------------------
+    # Sampling support
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def iter_nodes(self, ids: Sequence[int] | None = None) -> Iterable[Node]:
+        if ids is None:
+            return iter(self.nodes)
+        return (self.nodes[i] for i in ids)
+
+    def idle_all(self, seconds: float, node_ids: Iterable[int] | None = None) -> None:
+        """Advance idle time on the given nodes (default: the free ones)."""
+        ids = self._free if node_ids is None else node_ids
+        for i in ids:
+            self.nodes[i].run_phase(WorkPhase(kind=PhaseKind.IDLE, seconds=seconds))

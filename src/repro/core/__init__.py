@@ -1,0 +1,12 @@
+"""Study orchestration — the paper's nine months as one object.
+
+:class:`~repro.core.study.WorkloadStudy` wires the substrates together
+(machine + PBS + RS2HPM collector + workload trace), runs the campaign
+on the simulation clock, and returns a :class:`~repro.core.study.StudyDataset`
+with everything the analysis layer needs: the 15-minute system samples,
+the batch-job accounting log, and the utilization series.
+"""
+
+from repro.core.study import StudyConfig, StudyDataset, WorkloadStudy, run_study
+
+__all__ = ["StudyConfig", "StudyDataset", "WorkloadStudy", "run_study"]

@@ -1,0 +1,194 @@
+"""Run the measurement campaign end-to-end.
+
+The study replays a :class:`~repro.workload.traces.CampaignTrace`
+through PBS on an :class:`~repro.cluster.machine.SP2Machine`, with the
+RS2HPM collector sampling every node at 15-minute intervals — the same
+three data paths §3 describes (system-wide cron samples, per-job
+prologue/epilogue deltas, and per-node daemons), feeding the same
+analyses §5–§6 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.machine import SP2Machine
+from repro.power2.config import MachineConfig
+from repro.hpm.collector import SAMPLE_INTERVAL_SECONDS, SystemCollector
+from repro.hpm.daemon import NodeDaemon
+from repro.hpm.derived import DerivedRates, workload_rates
+from repro.pbs.accounting import AccountingLog
+from repro.pbs.scheduler import PBSServer
+from repro.sim.engine import Simulator
+from repro.sim.periodic import PeriodicTask
+from repro.workload.traces import SECONDS_PER_DAY, CampaignTrace, generate_trace
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Campaign parameters (defaults = the paper's setup)."""
+
+    seed: int = 0
+    n_days: int = 270
+    n_nodes: int = 144
+    n_users: int = 60
+    sample_interval: float = SAMPLE_INTERVAL_SECONDS
+    #: Cadence of the utilization probe (how often we record how many
+    #: nodes are servicing PBS jobs).
+    utilization_probe_interval: float = SAMPLE_INTERVAL_SECONDS
+    #: Per-node hardware constants (None = the POWER2/590 defaults).
+    machine_config: MachineConfig | None = None
+    #: Override the demand model's mean target load (None = default).
+    demand_mean: float | None = None
+
+
+@dataclass
+class StudyDataset:
+    """Everything the campaign measured."""
+
+    config: StudyConfig
+    trace: CampaignTrace
+    collector: SystemCollector
+    accounting: AccountingLog
+    #: (probe time, busy node count) pairs.
+    utilization_probes: list[tuple[float, int]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Day-level series (the paper's Figure 1 axes)
+    # ------------------------------------------------------------------
+    def daily_rates(self) -> list[DerivedRates]:
+        """Per-day derived rates over all nodes (per-node convention)."""
+        out: list[DerivedRates] = []
+        per_day = int(round(SECONDS_PER_DAY / self.config.sample_interval))
+        intervals = self.collector.intervals()
+        for d in range(self.config.n_days):
+            chunk = intervals[d * per_day : (d + 1) * per_day]
+            if not chunk:
+                break
+            totals: dict[str, int] = {}
+            for iv in chunk:
+                for k, v in iv.totals.items():
+                    totals[k] = totals.get(k, 0) + v
+            seconds = chunk[-1].end - chunk[0].start
+            out.append(workload_rates(totals, seconds, self.config.n_nodes))
+        return out
+
+    def daily_gflops(self) -> np.ndarray:
+        return np.array([r.gflops_system() for r in self.daily_rates()])
+
+    def interval_gflops(self) -> tuple[np.ndarray, np.ndarray]:
+        """(interval end times, system Gflops) at the 15-minute cadence —
+        the series behind the paper's 5.7 Gflops 15-minute maximum."""
+        ivs = self.collector.intervals()
+        times = np.array([iv.end for iv in ivs])
+        rates = np.empty(len(ivs))
+        for i, iv in enumerate(ivs):
+            r = workload_rates(iv.totals, iv.seconds, self.config.n_nodes)
+            rates[i] = r.gflops_system()
+        return times, rates
+
+    def interval_dma_bytes_per_node(self) -> tuple[np.ndarray, np.ndarray]:
+        """(interval ends, per-node DMA bytes/s) — §5's message-passing
+        traffic series (avg ≈1.3 MB/s, best 15-minute ≈5.4 MB/s)."""
+        from repro.power2.node import DMA_TRANSFER_BYTES
+
+        ivs = self.collector.intervals()
+        times = np.array([iv.end for iv in ivs])
+        rates = np.array(
+            [
+                (iv.totals.get("user.dma_read", 0) + iv.totals.get("user.dma_write", 0))
+                * DMA_TRANSFER_BYTES
+                / (iv.seconds * max(iv.n_nodes, 1))
+                for iv in ivs
+            ]
+        )
+        return times, rates
+
+    def daily_utilization(self) -> np.ndarray:
+        """Fraction of node-time servicing PBS jobs, per day (§5's 64%)."""
+        if not self.utilization_probes:
+            return np.zeros(0)
+        times = np.array([t for t, _ in self.utilization_probes])
+        busy = np.array([b for _, b in self.utilization_probes], dtype=float)
+        days = (times / SECONDS_PER_DAY).astype(int)
+        out = np.zeros(self.config.n_days)
+        for d in range(self.config.n_days):
+            mask = days == d
+            if mask.any():
+                out[d] = busy[mask].mean() / self.config.n_nodes
+        return out
+
+
+class WorkloadStudy:
+    """Wires machine, PBS, collector and trace together and runs them."""
+
+    def __init__(self, config: StudyConfig | None = None) -> None:
+        self.config = config or StudyConfig()
+        self.sim = Simulator()
+        self.machine = SP2Machine(self.config.n_nodes, self.config.machine_config)
+        self.pbs = PBSServer(self.sim, self.machine)
+        self.daemons = [NodeDaemon.for_node(n) for n in self.machine.nodes]
+        self.collector = SystemCollector(
+            self.daemons, interval=self.config.sample_interval
+        )
+        self._utilization_probes: list[tuple[float, int]] = []
+
+    def _probe_utilization(self, sim: Simulator) -> None:
+        self._utilization_probes.append((sim.now, self.pbs.busy_node_count()))
+
+    def run(self, trace: CampaignTrace | None = None) -> StudyDataset:
+        """Replay the trace; returns the measured dataset."""
+        cfg = self.config
+        trace = trace or generate_trace(
+            cfg.seed,
+            n_days=cfg.n_days,
+            n_nodes=cfg.n_nodes,
+            n_users=cfg.n_users,
+            demand_mean=cfg.demand_mean,
+        )
+        if trace.n_nodes != cfg.n_nodes:
+            raise ValueError(
+                f"trace was generated for {trace.n_nodes} nodes, study has {cfg.n_nodes}"
+            )
+
+        # Arm the samplers (baseline sample at t=0 included).
+        self.collector.attach(self.sim)
+        self._probe_utilization(self.sim)
+        PeriodicTask(
+            self.sim,
+            cfg.utilization_probe_interval,
+            self._probe_utilization,
+            name="utilization-probe",
+        )
+
+        # Schedule every submission.
+        for sub in trace.submissions:
+            self.sim.schedule_at(
+                sub.time,
+                lambda sim, s=sub: self.pbs.submit(s.user, s.app_name, s.nodes, s.profile),
+                name=f"submit-{sub.app_name}",
+            )
+
+        self.sim.run(until=trace.horizon_seconds)
+
+        # Final sync so trailing partial intervals are consistent.
+        for node in self.machine.nodes:
+            node.sync(trace.horizon_seconds)
+
+        return StudyDataset(
+            config=cfg,
+            trace=trace,
+            collector=self.collector,
+            accounting=self.pbs.accounting,
+            utilization_probes=self._utilization_probes,
+        )
+
+
+def run_study(
+    seed: int = 0, *, n_days: int = 270, n_nodes: int = 144, n_users: int = 60
+) -> StudyDataset:
+    """One-call campaign: generate the trace, run it, return the data."""
+    cfg = StudyConfig(seed=seed, n_days=n_days, n_nodes=n_nodes, n_users=n_users)
+    return WorkloadStudy(cfg).run()

@@ -1,0 +1,36 @@
+"""RS2HPM — the software stack over the POWER2 hardware monitor.
+
+Models the toolset the paper used (Maki's POWER2 hardware performance
+tools plus Saphir's PHPM extensions, §3): an event catalog with counter
+-group selection and verification, a kernel-level monitor interface with
+multipass sampling, the per-node data-collection daemon, the 15-minute
+system-wide cron collector, per-job prologue/epilogue reports, and the
+derived-metric algebra every table in the paper is computed from.
+"""
+
+from repro.hpm.events import EventCatalog, CounterGroup, NAS_SELECTION
+from repro.hpm.monitor_api import MonitorInterface, MultipassSampler
+from repro.hpm.daemon import NodeDaemon
+from repro.hpm.collector import SystemCollector, SystemSample
+from repro.hpm.jobreport import render_job_report, parse_job_report
+from repro.hpm.phpm import ParallelJobReport
+from repro.hpm.program import ProgramMonitor, ProgramReport
+from repro.hpm.derived import DerivedRates, workload_rates
+
+__all__ = [
+    "EventCatalog",
+    "CounterGroup",
+    "NAS_SELECTION",
+    "MonitorInterface",
+    "MultipassSampler",
+    "NodeDaemon",
+    "SystemCollector",
+    "SystemSample",
+    "render_job_report",
+    "ParallelJobReport",
+    "ProgramMonitor",
+    "ProgramReport",
+    "parse_job_report",
+    "DerivedRates",
+    "workload_rates",
+]

@@ -1,0 +1,208 @@
+"""Derived-metric algebra — how every number in Tables 2–4 is computed.
+
+Input is a flat counter-delta mapping (``user.fxu0`` …) plus the wall
+seconds it covers and the number of nodes it sums over.  All rates are
+*per node*, in millions per second, matching the paper's convention
+("These rates represent single node values and system rates may be
+obtained by multiplying by 144").
+
+The flop algebra follows §3/§5 exactly:
+
+* flops = adds + multiplies + divides + 2 × fma, where the monitor's
+  divide counters always read zero (hardware bug) — so measured flops
+  understate true flops by the ≈3% §3 estimates;
+* Mflops-add (Table 3) = pure adds + fma adds; Mflops-fma = fma count
+  (its multiply half); Mflops-mult = pure multiplies;
+* memory instructions ≈ FXU0 + FXU1 (a *lower bound* on the cache-miss
+  ratio denominator, §5);
+* Mips = FPU + FXU + ICU instructions; Mops additionally counts the
+  second operation of each fma.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.power2.config import MachineConfig, POWER2_590
+
+
+def _g(deltas: Mapping[str, float], key: str) -> float:
+    return float(deltas.get(key, 0))
+
+
+@dataclass(frozen=True)
+class DerivedRates:
+    """Per-node rates and ratios derived from one counter-delta block."""
+
+    seconds: float
+    n_nodes: int
+
+    # OPS (Mflops)
+    mflops_total: float
+    mflops_add: float
+    mflops_div: float
+    mflops_mul: float
+    mflops_fma: float
+
+    # INST (Mips)
+    mips_fp_total: float
+    mips_fp_unit0: float
+    mips_fp_unit1: float
+    mips_fxu_total: float
+    mips_fxu_unit0: float
+    mips_fxu_unit1: float
+    mips_icu: float
+
+    # CACHE (millions/s)
+    dcache_miss_rate: float
+    tlb_miss_rate: float
+    icache_miss_rate: float
+
+    # I/O (million transfers/s)
+    dma_read_rate: float
+    dma_write_rate: float
+
+    # Mode split
+    system_user_fxu_ratio: float
+    user_cycle_fraction: float
+
+    @property
+    def mips_total(self) -> float:
+        """Total instruction rate — Table 2's "Mips" row."""
+        return self.mips_fp_total + self.mips_fxu_total + self.mips_icu
+
+    @property
+    def mops_total(self) -> float:
+        """Operation rate — Table 2's "Mops" row (fma counts twice)."""
+        return self.mips_total + self.mflops_fma
+
+    @property
+    def fpu_ratio(self) -> float:
+        """FPU0:FPU1 instruction ratio (§5 measured ≈1.7)."""
+        return (
+            self.mips_fp_unit0 / self.mips_fp_unit1
+            if self.mips_fp_unit1 > 0
+            else float("inf")
+        )
+
+    @property
+    def flops_per_memory_inst(self) -> float:
+        """Register-reuse figure of merit (§5: 0.53 workload, 3.0 matmul)."""
+        return (
+            self.mflops_total / self.mips_fxu_total
+            if self.mips_fxu_total > 0
+            else 0.0
+        )
+
+    @property
+    def fma_flop_fraction(self) -> float:
+        """Fraction of flops produced by fma instructions (§5: ≈54%)."""
+        return (
+            2.0 * self.mflops_fma / self.mflops_total
+            if self.mflops_total > 0
+            else 0.0
+        )
+
+    @property
+    def branch_fraction(self) -> float:
+        """ICU share of all instructions — the paper's branch estimate."""
+        return self.mips_icu / self.mips_total if self.mips_total > 0 else 0.0
+
+    @property
+    def dcache_miss_ratio(self) -> float:
+        """Misses per memory instruction, memory ≈ FXU0+FXU1 (§5: ≥1%)."""
+        return (
+            self.dcache_miss_rate / self.mips_fxu_total
+            if self.mips_fxu_total > 0
+            else 0.0
+        )
+
+    @property
+    def tlb_miss_ratio(self) -> float:
+        return (
+            self.tlb_miss_rate / self.mips_fxu_total
+            if self.mips_fxu_total > 0
+            else 0.0
+        )
+
+    @property
+    def icache_miss_fraction(self) -> float:
+        """I-cache misses per instruction fetched (§5: ≈0.4%)."""
+        return (
+            self.icache_miss_rate / self.mips_total if self.mips_total > 0 else 0.0
+        )
+
+    def delay_per_memory_inst(self, config: MachineConfig = POWER2_590) -> float:
+        """§5's stall metric: (8·dcache + 45·tlb misses) / memory insts."""
+        if self.mips_fxu_total == 0:
+            return 0.0
+        cyc = (
+            self.dcache_miss_rate * config.dcache_miss_cycles
+            + self.tlb_miss_rate * config.tlb_miss_cycles
+        )
+        return cyc / self.mips_fxu_total
+
+    def gflops_system(self, n_nodes: int | None = None) -> float:
+        """Whole-machine rate: per-node Mflops × node count / 1000."""
+        n = self.n_nodes if n_nodes is None else n_nodes
+        return self.mflops_total * n / 1e3
+
+    @property
+    def dma_bytes_per_s(self) -> float:
+        """DMA traffic in bytes/s (≈32 B per transfer, §5's arithmetic)."""
+        from repro.power2.node import DMA_TRANSFER_BYTES
+
+        return (self.dma_read_rate + self.dma_write_rate) * 1e6 * DMA_TRANSFER_BYTES
+
+
+def workload_rates(
+    deltas: Mapping[str, float], seconds: float, n_nodes: int
+) -> DerivedRates:
+    """Derive per-node rates from counter deltas summed over ``n_nodes``.
+
+    ``seconds`` is the wall-clock span of the deltas.  Rates are reported
+    per node: each summed count is divided by ``seconds × n_nodes``.
+    """
+    if seconds <= 0:
+        raise ValueError("interval must have positive duration")
+    if n_nodes <= 0:
+        raise ValueError("need at least one node")
+    per = 1.0 / (seconds * n_nodes * 1e6)  # counts → per-node M/s
+
+    fp_add = _g(deltas, "user.fpu0_fp_add") + _g(deltas, "user.fpu1_fp_add")
+    fp_mul = _g(deltas, "user.fpu0_fp_mul") + _g(deltas, "user.fpu1_fp_mul")
+    fp_div = _g(deltas, "user.fpu0_fp_div") + _g(deltas, "user.fpu1_fp_div")
+    fp_fma = _g(deltas, "user.fpu0_fp_muladd") + _g(deltas, "user.fpu1_fp_muladd")
+
+    user_fxu = _g(deltas, "user.fxu0") + _g(deltas, "user.fxu1")
+    system_fxu = _g(deltas, "system.fxu0") + _g(deltas, "system.fxu1")
+    user_cycles = _g(deltas, "user.cycles")
+    system_cycles = _g(deltas, "system.cycles")
+    total_cycles = user_cycles + system_cycles
+
+    return DerivedRates(
+        seconds=seconds,
+        n_nodes=n_nodes,
+        # Table 3's add row includes the fma adds; its fma row is the fma
+        # multiplies; the div row is the broken counter (reads 0).
+        mflops_total=(fp_add + fp_mul + fp_div + 2.0 * fp_fma) * per,
+        mflops_add=(fp_add + fp_fma) * per,
+        mflops_div=fp_div * per,
+        mflops_mul=fp_mul * per,
+        mflops_fma=fp_fma * per,
+        mips_fp_total=(_g(deltas, "user.fpu0") + _g(deltas, "user.fpu1")) * per,
+        mips_fp_unit0=_g(deltas, "user.fpu0") * per,
+        mips_fp_unit1=_g(deltas, "user.fpu1") * per,
+        mips_fxu_total=user_fxu * per,
+        mips_fxu_unit0=_g(deltas, "user.fxu0") * per,
+        mips_fxu_unit1=_g(deltas, "user.fxu1") * per,
+        mips_icu=(_g(deltas, "user.icu0") + _g(deltas, "user.icu1")) * per,
+        dcache_miss_rate=_g(deltas, "user.dcache_mis") * per,
+        tlb_miss_rate=_g(deltas, "user.tlb_mis") * per,
+        icache_miss_rate=_g(deltas, "user.icache_reload") * per,
+        dma_read_rate=_g(deltas, "user.dma_read") * per,
+        dma_write_rate=_g(deltas, "user.dma_write") * per,
+        system_user_fxu_ratio=(system_fxu / user_fxu) if user_fxu > 0 else 0.0,
+        user_cycle_fraction=(user_cycles / total_cycles) if total_cycles > 0 else 0.0,
+    )

@@ -1,0 +1,180 @@
+"""The POWER2 monitor's selectable event space and counter groups.
+
+§3: "The SP2 POWER2 Performance Monitor consist of 22 32-bit counters
+located on the SCU chip ... The POWER2 counters provide a set of 5
+counters and 16 reportable events each for the FPU, the FXU, the ICU,
+and the SCU.  The selected 22 events are a subset of the 320 (some
+overlapping) signals which can be selected and reported by software
+[Welbon, 1994]."  And: "each combination must be implemented and
+verified in the monitoring software."
+
+This module models that selection layer: a catalog of selectable events
+per unit, counter groups (an assignment of one event to each physical
+counter slot), and a verification registry — only *verified* groups may
+be programmed, exactly the constraint NAS worked under.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.power2.counters import COUNTER_LAYOUT
+
+#: Physical counter slots per unit group, per §3.
+SLOTS_PER_UNIT: dict[str, int] = {"FXU": 5, "FPU0": 5, "FPU1": 5, "ICU": 2, "SCU": 5}
+
+#: Reportable events per unit (§3 says 16 each for the four unit kinds).
+EVENTS_PER_UNIT = 16
+
+
+def _unit_events(unit: str, names: list[str]) -> list[str]:
+    """Pad a unit's event list to the architectural 16 with reserved
+    signal names (the real chip exposes more signals than anyone used)."""
+    if len(names) > EVENTS_PER_UNIT:
+        raise ValueError(f"{unit}: more than {EVENTS_PER_UNIT} events")
+    reserved = [f"{unit.lower()}_signal_{i}" for i in range(len(names), EVENTS_PER_UNIT)]
+    return names + reserved
+
+
+#: Selectable signals, keyed by unit.  The named prefixes are the events
+#: the NAS selection and the RS2HPM documentation mention; the rest are
+#: reserved slots standing in for the remainder of Welbon's 320 signals.
+EVENT_SPACE: dict[str, list[str]] = {
+    "FXU": _unit_events(
+        "FXU",
+        [
+            "fxu0_insts",
+            "fxu1_insts",
+            "dcache_misses",
+            "tlb_misses",
+            "cycles",
+            "dcache_dir_searches",
+            "fxu_stall_cycles",
+            "int_mul_div",
+        ],
+    ),
+    "FPU0": _unit_events(
+        "FPU0",
+        ["insts", "fp_add", "fp_mul", "fp_div", "fp_muladd", "fp_sqrt", "fp_store_overlap"],
+    ),
+    "FPU1": _unit_events(
+        "FPU1",
+        ["insts", "fp_add", "fp_mul", "fp_div", "fp_muladd", "fp_sqrt", "fp_store_overlap"],
+    ),
+    "ICU": _unit_events(
+        "ICU",
+        ["type1_insts", "type2_insts", "branches_taken", "icache_fetches", "dispatch_stalls"],
+    ),
+    "SCU": _unit_events(
+        "SCU",
+        [
+            "icache_reloads",
+            "dcache_reloads",
+            "dcache_stores",
+            "dma_reads",
+            "dma_writes",
+            "sio_bus_busy",
+            "mem_refresh",
+        ],
+    ),
+}
+
+
+@dataclass(frozen=True)
+class CounterGroup:
+    """One programmable assignment of events to physical counter slots.
+
+    ``selection`` maps ``unit`` → tuple of event names, one per slot.
+    """
+
+    name: str
+    selection: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Check the assignment is physically realizable."""
+        for unit, slots in SLOTS_PER_UNIT.items():
+            chosen = self.selection.get(unit)
+            if chosen is None:
+                raise ValueError(f"group {self.name!r} missing unit {unit}")
+            if len(chosen) != slots:
+                raise ValueError(
+                    f"group {self.name!r}: unit {unit} needs {slots} events, "
+                    f"got {len(chosen)}"
+                )
+            space = EVENT_SPACE[unit]
+            for ev in chosen:
+                if ev not in space:
+                    raise ValueError(f"group {self.name!r}: {unit} has no event {ev!r}")
+            if len(set(chosen)) != len(chosen):
+                raise ValueError(f"group {self.name!r}: duplicate event in {unit}")
+
+    @property
+    def n_counters(self) -> int:
+        return sum(len(v) for v in self.selection.values())
+
+
+#: Table 1 — the NAS selection, expressed as a counter group.
+NAS_SELECTION = CounterGroup(
+    name="nas-table1",
+    selection={
+        "FXU": ("fxu0_insts", "fxu1_insts", "dcache_misses", "tlb_misses", "cycles"),
+        "FPU0": ("insts", "fp_add", "fp_mul", "fp_div", "fp_muladd"),
+        "FPU1": ("insts", "fp_add", "fp_mul", "fp_div", "fp_muladd"),
+        "ICU": ("type1_insts", "type2_insts"),
+        "SCU": ("icache_reloads", "dcache_reloads", "dcache_stores", "dma_reads", "dma_writes"),
+    },
+)
+
+
+class EventCatalog:
+    """Registry of counter groups and their verification status.
+
+    §3's constraint: a group must be "implemented and verified in the
+    monitoring software" before the kernel extension will program it.
+    """
+
+    def __init__(self) -> None:
+        self._groups: dict[str, CounterGroup] = {}
+        self._verified: set[str] = set()
+        self.register(NAS_SELECTION, verified=True)
+
+    def register(self, group: CounterGroup, *, verified: bool = False) -> None:
+        group.validate()
+        self._groups[group.name] = group
+        if verified:
+            self._verified.add(group.name)
+
+    def verify(self, name: str) -> None:
+        """Mark a registered group as verified (after software testing)."""
+        if name not in self._groups:
+            raise KeyError(f"unknown counter group {name!r}")
+        self._verified.add(name)
+
+    def get(self, name: str) -> CounterGroup:
+        group = self._groups.get(name)
+        if group is None:
+            raise KeyError(f"unknown counter group {name!r}")
+        if name not in self._verified:
+            raise PermissionError(
+                f"counter group {name!r} is registered but not verified; "
+                "the monitor refuses unverified selections (§3)"
+            )
+        return group
+
+    def groups(self) -> list[str]:
+        return sorted(self._groups)
+
+    def is_verified(self, name: str) -> bool:
+        return name in self._verified
+
+
+def table1_rows() -> list[tuple[str, str, str]]:
+    """Regenerate Table 1 from the counter layout (label, slot, text)."""
+    rows = []
+    for spec in COUNTER_LAYOUT:
+        if spec.name.startswith(("fpu0_fp_", "fpu1_fp_")):
+            label = "fpop." + spec.name.split("_", 1)[1]
+        else:
+            label = "user." + spec.name
+        rows.append((label, f"{spec.group}[{spec.slot}]", spec.description))
+    return rows

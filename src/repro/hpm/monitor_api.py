@@ -1,0 +1,109 @@
+"""The kernel-extension analogue: programming and reading the monitor.
+
+RS2HPM shipped a kernel extension plus a user library (§3).  Two pieces
+are modelled:
+
+* :class:`MonitorInterface` — program a *verified* counter group onto a
+  node's monitor, read snapshots, and difference them with 32-bit wrap
+  handling;
+* :class:`MultipassSampler` — §3's "multipass sampling mode": the chip
+  exposes more signals (≈320) than the 22 physical counters, so tools
+  rotate through several counter groups over time and scale each
+  group's counts by the inverse of its duty cycle to estimate
+  full-interval totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hpm.events import CounterGroup, EventCatalog
+from repro.power2.counters import snapshot_delta
+from repro.power2.node import Node
+
+
+@dataclass(frozen=True)
+class MonitorReading:
+    """One read: flat ``mode.counter`` values plus the group in force."""
+
+    time: float
+    group: str
+    values: dict[str, int]
+
+
+class MonitorInterface:
+    """Per-node monitor programming and reading."""
+
+    def __init__(self, node: Node, catalog: EventCatalog | None = None) -> None:
+        self.node = node
+        self.catalog = catalog or EventCatalog()
+        self._group: CounterGroup = self.catalog.get("nas-table1")
+
+    @property
+    def group(self) -> CounterGroup:
+        return self._group
+
+    def program(self, group_name: str) -> None:
+        """Select a counter group; raises for unverified groups (§3)."""
+        self._group = self.catalog.get(group_name)
+
+    def read(self, now: float) -> MonitorReading:
+        """Sync the node to ``now`` and read all counters."""
+        self.node.sync(now)
+        return MonitorReading(time=now, group=self._group.name, values=self.node.snapshot())
+
+    @staticmethod
+    def delta(before: MonitorReading, after: MonitorReading) -> dict[str, int]:
+        """Wrap-safe counter difference between two reads."""
+        if before.group != after.group:
+            raise ValueError(
+                f"cannot diff across counter groups ({before.group} vs {after.group})"
+            )
+        if after.time < before.time:
+            raise ValueError("readings out of order")
+        return snapshot_delta(before.values, after.values)
+
+
+class MultipassSampler:
+    """Rotate through several counter groups, extrapolating totals.
+
+    Given ``groups`` g₁..gₙ sampled round-robin with equal time slices,
+    an event counted only while its group is programmed is scaled by n
+    to estimate its full-interval count.  The estimate is unbiased for
+    steady workloads — and visibly noisy for bursty ones, which is why
+    the paper's 22-event selection stayed fixed for nine months.
+    """
+
+    def __init__(self, interface: MonitorInterface, group_names: list[str]) -> None:
+        if not group_names:
+            raise ValueError("need at least one group to sample")
+        for name in group_names:
+            interface.catalog.get(name)  # raises if unknown/unverified
+        self.interface = interface
+        self.group_names = list(group_names)
+        self._pass_idx = 0
+
+    @property
+    def n_passes(self) -> int:
+        return len(self.group_names)
+
+    def sample(self, start: float, end: float) -> dict[str, dict[str, float]]:
+        """Sample [start, end) in equal slices, one per group.
+
+        Returns ``{group_name: {counter: estimated_full_interval_count}}``
+        with each group's measured slice counts scaled by ``n_passes``.
+        """
+        if end <= start:
+            raise ValueError("sampling interval must have positive length")
+        slice_len = (end - start) / self.n_passes
+        out: dict[str, dict[str, float]] = {}
+        t = start
+        for name in self.group_names:
+            self.interface.program(name)
+            before = self.interface.read(t)
+            t += slice_len
+            after = self.interface.read(t)
+            counts = MonitorInterface.delta(before, after)
+            out[name] = {k: v * float(self.n_passes) for k, v in counts.items()}
+            self._pass_idx += 1
+        return out

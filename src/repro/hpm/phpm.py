@@ -1,0 +1,158 @@
+"""PHPM — parallel hardware performance monitoring (Saphir, 1996).
+
+§3 credits Bill Saphir with "valuable extensions of these tools to allow
+monitoring of individual job performance, as well as global system
+performance".  This module is that layer: given one job's per-node
+counter deltas (from the PBS prologue/epilogue), it produces the
+parallel view a message-passing programmer needs:
+
+* per-counter reductions across the job's nodes (sum / min / max / mean);
+* load-imbalance metrics (max/mean flop ratio — 1.0 is perfectly
+  balanced; synchronous codes run at the speed of the slowest node);
+* straggler identification, including the §6 case where the straggler
+  is *paging* (its system-mode counts give it away).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pbs.job import JobRecord
+
+
+@dataclass(frozen=True)
+class CounterReduction:
+    """One counter reduced across a job's nodes."""
+
+    counter: str
+    total: float
+    mean: float
+    minimum: float
+    maximum: float
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean; 1.0 means perfectly balanced."""
+        return self.maximum / self.mean if self.mean > 0 else 1.0
+
+
+@dataclass(frozen=True)
+class NodeDiagnosis:
+    """Per-node health within one job."""
+
+    node_id: int
+    flops: float
+    flop_share: float
+    system_user_fxu_ratio: float
+
+    @property
+    def paging_suspect(self) -> bool:
+        """§6's signature on a single node."""
+        return self.system_user_fxu_ratio > 1.0
+
+
+def _flops(deltas: dict[str, int]) -> float:
+    return JobRecord.flops_from_deltas(deltas)
+
+
+def _sys_user_ratio(deltas: dict[str, int]) -> float:
+    user = deltas.get("user.fxu0", 0) + deltas.get("user.fxu1", 0)
+    system = deltas.get("system.fxu0", 0) + deltas.get("system.fxu1", 0)
+    if user == 0:
+        return float("inf") if system else 0.0
+    return system / user
+
+
+class ParallelJobReport:
+    """The PHPM view of one finished job."""
+
+    def __init__(self, record: JobRecord) -> None:
+        if not record.counter_deltas:
+            raise ValueError(f"job {record.job_id} has no per-node counter data")
+        self.record = record
+        self._node_ids = sorted(record.counter_deltas)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def reduce(self, counter: str) -> CounterReduction:
+        """Reduce one flat-labelled counter across the job's nodes."""
+        values = np.array(
+            [self.record.counter_deltas[n].get(counter, 0) for n in self._node_ids],
+            dtype=float,
+        )
+        return CounterReduction(
+            counter=counter,
+            total=float(values.sum()),
+            mean=float(values.mean()),
+            minimum=float(values.min()),
+            maximum=float(values.max()),
+        )
+
+    def reductions(self, counters: list[str]) -> dict[str, CounterReduction]:
+        return {c: self.reduce(c) for c in counters}
+
+    # ------------------------------------------------------------------
+    # Balance
+    # ------------------------------------------------------------------
+    def node_flops(self) -> np.ndarray:
+        return np.array(
+            [_flops(self.record.counter_deltas[n]) for n in self._node_ids]
+        )
+
+    def flop_imbalance(self) -> float:
+        """max/mean flop ratio across nodes; 1.0 is perfect balance."""
+        flops = self.node_flops()
+        mean = flops.mean()
+        return float(flops.max() / mean) if mean > 0 else 1.0
+
+    def diagnose_nodes(self) -> list[NodeDiagnosis]:
+        """Per-node flop share and paging suspicion, worst first."""
+        flops = self.node_flops()
+        total = flops.sum()
+        out = [
+            NodeDiagnosis(
+                node_id=nid,
+                flops=float(f),
+                flop_share=float(f / total) if total > 0 else 0.0,
+                system_user_fxu_ratio=_sys_user_ratio(self.record.counter_deltas[nid]),
+            )
+            for nid, f in zip(self._node_ids, flops)
+        ]
+        out.sort(key=lambda d: d.flops)
+        return out
+
+    def stragglers(self, *, threshold: float = 0.8) -> list[NodeDiagnosis]:
+        """Nodes producing less than ``threshold`` × the mean flops."""
+        flops = self.node_flops()
+        mean = flops.mean()
+        if mean == 0:
+            return []
+        return [d for d in self.diagnose_nodes() if d.flops < threshold * mean]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        r = self.record
+        flops = self.node_flops()
+        lines = [
+            f"PHPM job {r.job_id} ({r.app_name}): {len(self._node_ids)} nodes, "
+            f"{r.walltime_seconds:.0f}s, {r.total_mflops:.1f} Mflops total",
+            f"  per-node Mflops: min {flops.min() / r.walltime_seconds / 1e6:.2f}  "
+            f"mean {flops.mean() / r.walltime_seconds / 1e6:.2f}  "
+            f"max {flops.max() / r.walltime_seconds / 1e6:.2f}  "
+            f"(imbalance {self.flop_imbalance():.2f})",
+        ]
+        stragglers = self.stragglers()
+        if stragglers:
+            worst = stragglers[0]
+            cause = "paging" if worst.paging_suspect else "unknown"
+            lines.append(
+                f"  stragglers: {len(stragglers)} node(s); worst node "
+                f"{worst.node_id} at {worst.flop_share:.1%} share "
+                f"(suspected cause: {cause})"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Per-program measurement — §3's user-facing RS2HPM commands.
+
+"For individual programs to be reported, users must place commands into
+their batch scripts or preface interactive sessions with the appropriate
+RS2HPM commands."  This module is that command pair as a Python context
+manager: snapshot on entry, snapshot on exit, difference, derive.
+
+Phases can be annotated (``mark``) so a solver's init / iterate / output
+sections get separate counter blocks — the workflow a NAS user tuning a
+CFD code would follow with the real tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hpm.derived import DerivedRates, workload_rates
+from repro.power2.counters import snapshot_delta
+from repro.power2.node import Node
+
+
+@dataclass(frozen=True)
+class PhaseCounts:
+    """One marked phase's counter deltas and derived rates."""
+
+    name: str
+    seconds: float
+    deltas: dict[str, int]
+
+    @property
+    def rates(self) -> DerivedRates:
+        return workload_rates(self.deltas, self.seconds, 1)
+
+
+@dataclass
+class ProgramReport:
+    """Everything a finished ProgramMonitor run measured."""
+
+    phases: list[PhaseCounts] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(p.seconds for p in self.phases)
+
+    def totals(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for p in self.phases:
+            for k, v in p.deltas.items():
+                out[k] = out.get(k, 0) + v
+        return out
+
+    @property
+    def rates(self) -> DerivedRates:
+        if self.total_seconds <= 0:
+            raise ValueError("program accrued no wall time")
+        return workload_rates(self.totals(), self.total_seconds, 1)
+
+    def phase(self, name: str) -> PhaseCounts:
+        for p in self.phases:
+            if p.name == name:
+                return p
+        raise KeyError(f"no phase named {name!r}")
+
+    def hotspots(self) -> list[tuple[str, float]]:
+        """Phases ranked by share of total wall time."""
+        total = self.total_seconds
+        if total <= 0:
+            return []
+        ranked = sorted(self.phases, key=lambda p: p.seconds, reverse=True)
+        return [(p.name, p.seconds / total) for p in ranked]
+
+
+class ProgramMonitor:
+    """Measure a program's execution on one node, phase by phase.
+
+    >>> node = Node(0)
+    >>> with ProgramMonitor(node) as pm:            # doctest: +SKIP
+    ...     run_initialization(node)
+    ...     pm.mark("iterate")
+    ...     run_solver(node)
+    >>> pm.report.rates.mflops_total                # doctest: +SKIP
+
+    The monitor reads the node's simulated clock through the wall time
+    the node itself accounts (``node.wall_seconds``), so it composes
+    with both the phase API and the rate API.
+    """
+
+    def __init__(self, node: Node, *, first_phase: str = "main") -> None:
+        self.node = node
+        self.report = ProgramReport()
+        self._phase_name = first_phase
+        self._phase_start: float | None = None
+        self._phase_snapshot: dict[str, int] | None = None
+        self._active = False
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ProgramMonitor":
+        self._active = True
+        self._begin_phase(self._phase_name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._end_phase()
+        self._active = False
+
+    def mark(self, name: str) -> None:
+        """Close the current phase and open ``name``."""
+        if not self._active:
+            raise RuntimeError("mark() outside an active ProgramMonitor")
+        self._end_phase()
+        self._begin_phase(name)
+
+    # ------------------------------------------------------------------
+    def _begin_phase(self, name: str) -> None:
+        self._phase_name = name
+        self._phase_start = self.node.wall_seconds
+        self._phase_snapshot = self.node.snapshot()
+
+    def _end_phase(self) -> None:
+        assert self._phase_snapshot is not None and self._phase_start is not None
+        seconds = self.node.wall_seconds - self._phase_start
+        deltas = snapshot_delta(self._phase_snapshot, self.node.snapshot())
+        if seconds > 0 or any(deltas.values()):
+            self.report.phases.append(
+                PhaseCounts(name=self._phase_name, seconds=seconds, deltas=deltas)
+            )

@@ -1,0 +1,37 @@
+"""The Portable Batch System, as NAS ran it on the SP2.
+
+§2: "NAS employed its Portable Batch System (PBS) for job management.
+Key features of PBS included support for parallel job scheduling and
+direct enforcement of resource allocation policies."  §6 adds the
+operational constraints the reproduction needs: jobs got *dedicated*
+nodes, MPI/PVM jobs could not be checkpointed, and administrators had to
+**drain the queues** to let jobs requesting more than 64 nodes run.
+
+* :mod:`repro.pbs.job` — job specs, states and accounting records;
+* :mod:`repro.pbs.queue` — the submit queue with drain semantics;
+* :mod:`repro.pbs.scheduler` — the server: allocation, start/end events,
+  prologue/epilogue counter capture hooks;
+* :mod:`repro.pbs.accounting` — the job-record database behind §6's
+  batch-job analysis (600-second filter, walltime-by-nodes, per-job
+  Mflops).
+"""
+
+from repro.pbs.job import JobSpec, JobState, JobRecord
+from repro.pbs.queue import JobQueue
+from repro.pbs.scheduler import PBSServer
+from repro.pbs.accounting import AccountingLog
+from repro.pbs.scripts import BatchRequest, ScriptError, parse_batch_script
+from repro.pbs.qcmds import PBSCommands
+
+__all__ = [
+    "JobSpec",
+    "JobState",
+    "JobRecord",
+    "JobQueue",
+    "PBSServer",
+    "AccountingLog",
+    "BatchRequest",
+    "ScriptError",
+    "parse_batch_script",
+    "PBSCommands",
+]

@@ -1,0 +1,118 @@
+"""qsub / qstat / qdel — the PBS command surface.
+
+A thin facade over :class:`~repro.pbs.scheduler.PBSServer` mirroring the
+commands NAS users typed (§2: PBS handled parallel scheduling, resource
+policy enforcement, and interactive login).  ``qsub`` takes a batch
+script, runs it through the workload catalog, and submits; ``qstat``
+renders the queue/running state; ``qdel`` cancels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pbs.job import JobSpec, JobState
+from repro.pbs.scheduler import PBSServer
+from repro.pbs.scripts import BatchRequest, parse_batch_script
+from repro.util.rng import RngStreams
+from repro.workload.apps import application
+
+
+@dataclass(frozen=True)
+class QstatRow:
+    job_id: int
+    name: str
+    user: int
+    nodes: int
+    state: str
+    elapsed_seconds: float
+
+
+class PBSCommands:
+    """The user-command surface for one PBS server."""
+
+    def __init__(self, server: PBSServer, *, seed: int = 0) -> None:
+        self.server = server
+        self._streams = RngStreams(seed)
+        self._names: dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    def qsub(self, script: str, *, user: int = 0) -> JobSpec:
+        """Submit a batch script; returns the job."""
+        request = parse_batch_script(script)
+        return self.qsub_request(request, user=user)
+
+    def qsub_request(self, request: BatchRequest, *, user: int = 0) -> JobSpec:
+        template = application(request.app_name)
+        rng = self._streams.spawn("qsub", self.server._next_job_id)
+        profile = template.instantiate(rng, nodes=request.nodes)
+        if request.walltime_seconds is not None:
+            # The user's walltime limit caps the run (PBS enforced it).
+            profile = type(profile)(
+                app_name=profile.app_name,
+                kernel_name=profile.kernel_name,
+                nodes=profile.nodes,
+                walltime_seconds=min(
+                    profile.walltime_seconds, request.walltime_seconds
+                ),
+                memory_bytes_per_node=profile.memory_bytes_per_node,
+                user_rates=profile.user_rates,
+                system_rates=profile.system_rates,
+                mflops_per_node=profile.mflops_per_node,
+                compute_fraction=profile.compute_fraction,
+                comm_fraction=profile.comm_fraction,
+                io_fraction=profile.io_fraction,
+            )
+        job = self.server.submit(user, request.app_name, request.nodes, profile)
+        if request.job_name:
+            self._names[job.job_id] = request.job_name
+        return job
+
+    # ------------------------------------------------------------------
+    def qstat(self) -> list[QstatRow]:
+        """Queue + running state, queued first (as qstat printed it)."""
+        now = self.server.sim.now
+        rows = [
+            QstatRow(
+                job_id=j.job_id,
+                name=self._names.get(j.job_id, j.app_name),
+                user=j.user,
+                nodes=j.nodes_requested,
+                state=j.state.value,
+                elapsed_seconds=now - j.submit_time,
+            )
+            for j in self.server.queue.queued_jobs()
+        ]
+        for job, _, _, start, _ in self.server.running.values():
+            rows.append(
+                QstatRow(
+                    job_id=job.job_id,
+                    name=self._names.get(job.job_id, job.app_name),
+                    user=job.user,
+                    nodes=job.nodes_requested,
+                    state=job.state.value,
+                    elapsed_seconds=now - start,
+                )
+            )
+        return rows
+
+    def qstat_render(self) -> str:
+        rows = self.qstat()
+        lines = [f"{'Job':>5s} {'Name':<16s} {'User':>5s} {'Nodes':>5s} {'S':>2s} {'Elap':>8s}"]
+        for r in rows:
+            lines.append(
+                f"{r.job_id:>5d} {r.name:<16.16s} {r.user:>5d} {r.nodes:>5d} "
+                f"{r.state:>2s} {r.elapsed_seconds:>8.0f}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def qdel(self, job_id: int) -> bool:
+        """Cancel a queued job.  Running jobs could not be checkpointed
+        (§6), so — like the real system — qdel only removes queued ones
+        here; returns False for running/unknown jobs."""
+        job = self.server.queue.remove(job_id)
+        if job is None:
+            return False
+        job.state = JobState.EXITED
+        return True

@@ -1,0 +1,84 @@
+"""The PBS submit queue, with NAS's drain-for-wide-jobs policy.
+
+§6: "System administrators could not checkpoint MPI/PVM jobs and had to
+rely upon draining the queues to allow jobs requesting more than
+64-nodes to execute."  The queue is therefore FIFO with *conditional
+backfill*: narrower jobs may start ahead of a blocked head-of-queue job
+— unless the blocked job is wide (>64 nodes), in which case the queue
+drains (nothing new starts) until the wide job fits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.pbs.job import JobSpec, JobState
+
+
+class JobQueue:
+    """FIFO queue with drain semantics for wide jobs."""
+
+    def __init__(self, *, wide_threshold: int = 64, backfill: bool = True) -> None:
+        self.wide_threshold = wide_threshold
+        self.backfill = backfill
+        self._q: deque[JobSpec] = deque()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __iter__(self) -> Iterator[JobSpec]:
+        return iter(self._q)
+
+    @property
+    def empty(self) -> bool:
+        return not self._q
+
+    def submit(self, job: JobSpec) -> None:
+        if job.state is not JobState.QUEUED:
+            raise ValueError(f"job {job.job_id} is {job.state}, not queued")
+        self._q.append(job)
+
+    def draining_for(self, free_nodes: int) -> JobSpec | None:
+        """The wide head-of-queue job the machine is draining for, if any."""
+        if not self._q:
+            return None
+        head = self._q[0]
+        if head.nodes_requested > self.wide_threshold and head.nodes_requested > free_nodes:
+            return head
+        return None
+
+    def pop_startable(self, free_nodes: int) -> JobSpec | None:
+        """Remove and return the next job that may start now.
+
+        Policy:
+
+        * the head starts if it fits;
+        * if the head is a *wide* job that does not fit, the queue drains
+          — nothing else may start;
+        * otherwise (narrow blocked head) backfill: the first queued job
+          that fits may start.
+        """
+        if not self._q:
+            return None
+        head = self._q[0]
+        if head.nodes_requested <= free_nodes:
+            return self._q.popleft()
+        if head.nodes_requested > self.wide_threshold or not self.backfill:
+            return None  # draining (or strict FIFO)
+        for i, job in enumerate(self._q):
+            if job.nodes_requested <= free_nodes:
+                del self._q[i]
+                return job
+        return None
+
+    def remove(self, job_id: int) -> JobSpec | None:
+        """Remove a queued job by id (qdel); returns it, or None."""
+        for job in self._q:
+            if job.job_id == job_id:
+                self._q.remove(job)
+                return job
+        return None
+
+    def queued_jobs(self) -> list[JobSpec]:
+        return list(self._q)

@@ -1,0 +1,203 @@
+"""The PBS server: submission, scheduling, prologue/epilogue.
+
+Drives jobs through the machine on the simulation clock:
+
+* ``submit`` queues a job and pokes the scheduler;
+* the scheduler starts every startable job (FIFO + backfill, draining
+  for wide jobs — policy in :class:`~repro.pbs.queue.JobQueue`);
+* job start = allocate dedicated nodes, pin memory, run the *prologue*
+  (per-node counter snapshot, §3), install the job's steady counter
+  rates on its nodes, schedule the end event;
+* job end = sync and snapshot again (*epilogue*), diff the snapshots,
+  release nodes and memory, append the accounting record, reschedule.
+
+Paging is applied here, not in the profile: the job's per-node memory
+demand is compared against node memory, and an oversubscribed job has
+its rates transformed (user progress slowed, system-mode fault work
+added) by :func:`apply_paging_to_rates` — this is how the §6 cliff
+reaches the counters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.machine import SP2Machine
+from repro.pbs.accounting import AccountingLog
+from repro.pbs.job import ExecutionProfile, JobRecord, JobSpec, JobState
+from repro.pbs.queue import JobQueue
+from repro.power2.config import MachineConfig
+from repro.power2.counters import rates_vector, snapshot_delta
+from repro.power2.node import (
+    DMA_TRANSFER_BYTES,
+    PAGING_CPU_BUSY_FRACTION,
+    PAGING_SYSTEM_FXU_RATE,
+    PAGING_SYSTEM_ICU_RATE,
+    compute_paging_state,
+)
+from repro.sim.engine import Simulator
+
+
+def apply_paging_to_rates(
+    user_rates: np.ndarray,
+    system_rates: np.ndarray,
+    demand_bytes: float,
+    config: MachineConfig,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Transform a job's steady rates for memory oversubscription.
+
+    Returns ``(user, system, slowdown)`` where user rates are scaled by
+    ``1 - stolen_fraction`` (user-mode progress only happens in the wall
+    time paging leaves over) and system rates gain the fault-service
+    instruction and cycle rates plus the page-traffic DMA rates.
+    """
+    paging = compute_paging_state(demand_bytes, config.memory_bytes, config)
+    if paging.fault_rate_per_s == 0.0:
+        return user_rates, system_rates, 1.0
+    stolen = paging.stolen_fraction
+    remain = 1.0 - stolen
+    faults = paging.fault_rate_per_s
+    page_transfers = faults * config.tlb.page_bytes / DMA_TRANSFER_BYTES
+    fault_rates = rates_vector(
+        {
+            "fxu0": stolen * PAGING_SYSTEM_FXU_RATE * 0.5,
+            "fxu1": stolen * PAGING_SYSTEM_FXU_RATE * 0.5,
+            "icu0": stolen * PAGING_SYSTEM_ICU_RATE,
+            "cycles": stolen * config.clock_hz * PAGING_CPU_BUSY_FRACTION,
+            "dma_read": page_transfers * 0.4,
+            "dma_write": page_transfers * 0.6,
+        }
+    )
+    return user_rates * remain, system_rates + fault_rates, remain
+
+
+class PBSServer:
+    """Job manager for one :class:`~repro.cluster.machine.SP2Machine`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: SP2Machine,
+        *,
+        queue: JobQueue | None = None,
+        accounting: AccountingLog | None = None,
+    ) -> None:
+        self.sim = sim
+        self.machine = machine
+        # NOT `queue or JobQueue()`: an empty JobQueue is falsy (__len__).
+        self.queue = queue if queue is not None else JobQueue()
+        self.accounting = accounting if accounting is not None else AccountingLog()
+        self.running: dict[int, tuple[JobSpec, int, tuple[int, ...], float, dict]] = {}
+        self._next_job_id = 1
+        #: Optional observer called with each finished JobRecord.
+        self.on_job_end: Callable[[JobRecord], None] | None = None
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self, user: int, app_name: str, nodes: int, profile: ExecutionProfile
+    ) -> JobSpec:
+        """Queue a job at the current simulation time."""
+        if nodes > self.machine.n_nodes:
+            raise ValueError(
+                f"job wants {nodes} nodes; machine has {self.machine.n_nodes}"
+            )
+        job = JobSpec(
+            job_id=self._next_job_id,
+            user=user,
+            app_name=app_name,
+            nodes_requested=nodes,
+            submit_time=self.sim.now,
+            profile=profile,
+        )
+        self._next_job_id += 1
+        self.queue.submit(job)
+        self.schedule_pass()
+        return job
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_pass(self) -> int:
+        """Start every job the policy allows; returns how many started."""
+        started = 0
+        while True:
+            job = self.queue.pop_startable(self.machine.n_free)
+            if job is None:
+                break
+            self._start_job(job)
+            started += 1
+        return started
+
+    def _start_job(self, job: JobSpec) -> None:
+        now = self.sim.now
+        alloc_id, node_ids = self.machine.allocate(job.nodes_requested)
+        job.state = JobState.RUNNING
+
+        profile = job.profile
+        demand = profile.memory_bytes_per_node
+        user, system, _ = apply_paging_to_rates(
+            profile.user_rates, profile.system_rates, demand, self.machine.config
+        )
+
+        # Prologue: snapshot counters on each allocated node (§3).
+        prologue: dict[int, dict[str, int]] = {}
+        for nid in node_ids:
+            node = self.machine.node(nid)
+            node.sync(now)
+            prologue[nid] = node.snapshot()
+            node.assign_memory(demand)
+            node.install_rates(
+                now, user, system, busy=True, flops_per_s=profile.mflops_per_node * 1e6
+            )
+
+        self.running[job.job_id] = (job, alloc_id, node_ids, now, prologue)
+        self.sim.schedule(
+            profile.walltime_seconds,
+            lambda sim, job_id=job.job_id: self._end_job(job_id),
+            name=f"end-job-{job.job_id}",
+        )
+
+    def _end_job(self, job_id: int) -> None:
+        now = self.sim.now
+        job, alloc_id, node_ids, start_time, prologue = self.running.pop(job_id)
+        job.state = JobState.EXITED
+
+        # Epilogue: sync, snapshot, diff against the prologue (§3).
+        deltas: dict[int, dict[str, int]] = {}
+        for nid in node_ids:
+            node = self.machine.node(nid)
+            node.sync(now)
+            deltas[nid] = snapshot_delta(prologue[nid], node.snapshot())
+            node.release_memory(job.profile.memory_bytes_per_node)
+            node.install_rates(now)  # back to idle background
+
+        self.machine.release(alloc_id)
+        record = JobRecord(
+            job_id=job.job_id,
+            user=job.user,
+            app_name=job.app_name,
+            nodes_requested=job.nodes_requested,
+            node_ids=node_ids,
+            submit_time=job.submit_time,
+            start_time=start_time,
+            end_time=now,
+            counter_deltas=deltas,
+        )
+        self.accounting.append(record)
+        if self.on_job_end is not None:
+            self.on_job_end(record)
+        self.schedule_pass()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_running(self) -> int:
+        return len(self.running)
+
+    def busy_node_count(self) -> int:
+        return sum(len(nodes) for _, _, nodes, _, _ in self.running.values())

@@ -1,0 +1,157 @@
+"""PBS batch scripts — the user's side of §2/§3.
+
+NAS users drove the SP2 with shell scripts carrying ``#PBS`` directives;
+to get per-program counter reports they had to "place commands into
+their batch scripts" (§3).  This module parses that script dialect into
+a structured request the server can run:
+
+* ``#PBS -l nodes=N`` / ``#PBS -l walltime=HH:MM:SS`` resource lists
+  (comma-combined forms included), ``#PBS -N name``, ``#PBS -q queue``;
+* an application line naming a catalog code (e.g. ``mpirun -np 16
+  ./arc3d``) mapped onto the workload templates;
+* ``rs2hpm start`` / ``rs2hpm stop`` markers requesting per-program
+  measurement.
+
+Unknown directives raise — PBS rejected malformed scripts rather than
+guessing.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from dataclasses import dataclass, field
+
+#: Executable-name → application-template mapping; the names are the
+#: style of code names NAS ran (CFD solver binaries).
+DEFAULT_APP_ALIASES: dict[str, str] = {
+    "arc3d": "multiblock_cfd",
+    "overflow": "multiblock_cfd",
+    "cfl3d": "multiblock_cfd",
+    "optcfd": "opt_sweep",
+    "upwell": "navier_stokes_async",
+    "vecport": "legacy_vector",
+    "emscat": "spectral_em",
+    "gridgen": "nonfp_preproc",
+    "bigjob": "wide_paging",
+    "widesync": "wide_sync",
+    "bt": "npb_bt_benchmark",
+    "matmul": "matmul_benchmark",
+}
+
+
+class ScriptError(ValueError):
+    """A malformed batch script."""
+
+
+@dataclass
+class BatchRequest:
+    """The parsed content of one batch script."""
+
+    nodes: int = 1
+    walltime_seconds: float | None = None
+    job_name: str = ""
+    queue: str = "batch"
+    app_name: str = ""
+    app_args: tuple[str, ...] = ()
+    #: ``rs2hpm start/stop`` present → user wants a per-program report.
+    wants_hpm_report: bool = False
+    raw_directives: list[str] = field(default_factory=list)
+
+    def validate(self) -> None:
+        if self.nodes <= 0:
+            raise ScriptError("nodes must be positive")
+        if not self.app_name:
+            raise ScriptError("script runs no known application")
+        if self.walltime_seconds is not None and self.walltime_seconds <= 0:
+            raise ScriptError("walltime must be positive")
+
+
+def _parse_walltime(text: str) -> float:
+    parts = text.split(":")
+    if not 1 <= len(parts) <= 3 or not all(p.isdigit() for p in parts):
+        raise ScriptError(f"bad walltime {text!r} (expected [HH:]MM:SS or seconds)")
+    nums = [int(p) for p in parts]
+    while len(nums) < 3:
+        nums.insert(0, 0)
+    h, m, s = nums
+    return float(h * 3600 + m * 60 + s)
+
+
+def _parse_resource_list(text: str, req: BatchRequest) -> None:
+    for item in text.split(","):
+        key, _, value = item.partition("=")
+        key, value = key.strip(), value.strip()
+        if not value:
+            raise ScriptError(f"bad resource item {item!r}")
+        if key == "nodes":
+            if not value.isdigit():
+                raise ScriptError(f"bad node count {value!r}")
+            req.nodes = int(value)
+        elif key == "walltime":
+            req.walltime_seconds = _parse_walltime(value)
+        elif key in ("mem", "ncpus"):
+            pass  # accepted and ignored, as the SP2's PBS did
+        else:
+            raise ScriptError(f"unknown resource {key!r}")
+
+
+_DIRECTIVE = re.compile(r"^#PBS\s+-(\w)\s+(.*\S)\s*$")
+
+
+def parse_batch_script(
+    text: str, *, app_aliases: dict[str, str] | None = None
+) -> BatchRequest:
+    """Parse one batch script into a :class:`BatchRequest`."""
+    aliases = DEFAULT_APP_ALIASES if app_aliases is None else app_aliases
+    req = BatchRequest()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#PBS"):
+            m = _DIRECTIVE.match(line)
+            if not m:
+                raise ScriptError(f"line {lineno}: malformed directive {line!r}")
+            flag, value = m.group(1), m.group(2)
+            req.raw_directives.append(line)
+            if flag == "l":
+                _parse_resource_list(value, req)
+            elif flag == "N":
+                req.job_name = value
+            elif flag == "q":
+                req.queue = value
+            elif flag in ("o", "e", "j", "m", "M", "A"):
+                pass  # output/mail/accounting directives: accepted
+            else:
+                raise ScriptError(f"line {lineno}: unknown directive -{flag}")
+            continue
+        if line.startswith("#"):
+            continue  # comment / shebang
+        words = shlex.split(line)
+        if not words:
+            continue
+        if words[0] == "rs2hpm":
+            if len(words) < 2 or words[1] not in ("start", "stop"):
+                raise ScriptError(f"line {lineno}: rs2hpm needs start|stop")
+            req.wants_hpm_report = True
+            continue
+        # An application invocation: strip launcher prefixes.
+        cmd = words
+        if cmd[0] in ("mpirun", "poe"):
+            # skip launcher options like -np N / -procs N
+            i = 1
+            while i < len(cmd) and cmd[i].startswith("-"):
+                i += 2
+            cmd = cmd[i:]
+            if not cmd:
+                raise ScriptError(f"line {lineno}: launcher without a program")
+        exe = cmd[0].rsplit("/", 1)[-1].lstrip("./")
+        if exe in aliases:
+            if req.app_name:
+                raise ScriptError(f"line {lineno}: script runs two applications")
+            req.app_name = aliases[exe]
+            req.app_args = tuple(cmd[1:])
+        # Unknown shell lines (cd, cp to NFS, etc.) are fine.
+    req.validate()
+    return req

@@ -1,0 +1,187 @@
+"""Instruction-category algebra.
+
+Every layer of the reproduction communicates work as an
+:class:`InstructionMix` — counts of instructions per architectural
+category for some block of execution.  The categories follow the POWER2
+unit structure the paper describes, and the flop-counting rules follow
+§5 exactly:
+
+* an ``fma`` instruction produces **2** flops — its multiply is reported
+  in the fma operation count, its add in the add operation count;
+* divides produce flops in reality but the hardware monitor's divide
+  counter was broken, so the *monitor* reports zero for them (handled in
+  :mod:`repro.power2.counters`, not here);
+* quad loads/stores move two doublewords but count as **one** FXU
+  instruction (§5's caveat on the flops-per-memory-instruction ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Instruction counts for one block of work.
+
+    All fields are *counts* (not rates).  Fractional values are permitted:
+    mixes describe statistically generated work, and a phase may execute
+    e.g. ``0.5`` of an iteration's instructions before a sampling boundary.
+    """
+
+    # Floating point arithmetic (per FPU assignment happens at dispatch).
+    fp_add: float = 0.0
+    fp_mul: float = 0.0
+    fp_div: float = 0.0
+    fp_sqrt: float = 0.0
+    fp_fma: float = 0.0
+    #: Non-arithmetic FPU instructions: fp loads-to-FPR completions,
+    #: moves, compares, conversions.  Issued by the FPUs but produce no
+    #: flops — the gap between the paper's Mips-FP (14.8) and the sum of
+    #: its arithmetic rows.
+    fp_misc: float = 0.0
+
+    # Fixed point / memory instructions.
+    loads: float = 0.0
+    stores: float = 0.0
+    quad_loads: float = 0.0
+    quad_stores: float = 0.0
+    #: Integer arithmetic and addressing ops (FXU1 owns multiply/divide
+    #: address arithmetic per §5).
+    int_ops: float = 0.0
+
+    # Instruction-cache unit work.
+    branches: float = 0.0
+    #: Condition-register and other ICU-executed ("type II") instructions.
+    cr_ops: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def flops(self) -> float:
+        """Total floating-point operations; fma counts twice (§5)."""
+        return self.fp_add + self.fp_mul + self.fp_div + self.fp_sqrt + 2.0 * self.fp_fma
+
+    @property
+    def fp_arith_insts(self) -> float:
+        """Arithmetic instructions routed to the FPU pair."""
+        return self.fp_add + self.fp_mul + self.fp_div + self.fp_sqrt + self.fp_fma
+
+    @property
+    def fpu_insts(self) -> float:
+        """Everything the FPUs issue, arithmetic or not."""
+        return self.fp_arith_insts + self.fp_misc
+
+    @property
+    def memory_insts(self) -> float:
+        """FXU load/store instructions (a quad access counts once)."""
+        return self.loads + self.stores + self.quad_loads + self.quad_stores
+
+    @property
+    def memory_words(self) -> float:
+        """Doublewords actually moved (quad accesses move two)."""
+        return (
+            self.loads
+            + self.stores
+            + 2.0 * self.quad_loads
+            + 2.0 * self.quad_stores
+        )
+
+    @property
+    def fxu_insts(self) -> float:
+        return self.memory_insts + self.int_ops
+
+    @property
+    def icu_insts(self) -> float:
+        return self.branches + self.cr_ops
+
+    @property
+    def total_insts(self) -> float:
+        """Instructions across all units — the paper's "Mips" numerator."""
+        return self.fpu_insts + self.fxu_insts + self.icu_insts
+
+    @property
+    def total_ops(self) -> float:
+        """Operation count — the paper's "Mops" numerator.
+
+        Same as instructions except each fma contributes two operations
+        and each quad access moves two words.
+        """
+        return (
+            self.total_insts
+            + self.fp_fma
+            + self.quad_loads
+            + self.quad_stores
+        )
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "InstructionMix":
+        """Uniformly scale every category (e.g. to fit a time slice)."""
+        if factor < 0:
+            raise ValueError(f"scale factor must be non-negative, got {factor}")
+        return InstructionMix(
+            **{f.name: getattr(self, f.name) * factor for f in fields(self)}
+        )
+
+    def __add__(self, other: "InstructionMix") -> "InstructionMix":
+        return InstructionMix(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def replace(self, **kwargs: float) -> "InstructionMix":
+        return replace(self, **kwargs)
+
+    def validate(self) -> None:
+        """Raise if any category count is negative or non-finite."""
+        import math
+
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if not math.isfinite(v) or v < 0.0:
+                raise ValueError(f"invalid count {f.name}={v!r}")
+
+    @staticmethod
+    def zero() -> "InstructionMix":
+        return InstructionMix()
+
+
+@dataclass(frozen=True)
+class FlopBreakdown:
+    """Flop counts grouped the way Table 3 reports them.
+
+    ``add`` includes the adds performed inside fma instructions and
+    ``fma`` counts the fma multiplies, per §5: "The fma multiply appears
+    in the fma operation count and the fma add appears in the add
+    operation count."
+    """
+
+    add: float
+    mul: float
+    div: float
+    fma: float
+
+    @property
+    def total(self) -> float:
+        return self.add + self.mul + self.div + self.fma
+
+    @staticmethod
+    def from_mix(mix: InstructionMix) -> "FlopBreakdown":
+        return FlopBreakdown(
+            add=mix.fp_add + mix.fp_fma,
+            mul=mix.fp_mul,
+            div=mix.fp_div + mix.fp_sqrt,
+            fma=mix.fp_fma,
+        )
+
+    @property
+    def fma_fraction(self) -> float:
+        """Fraction of all flops produced by fma instructions (§5: ~54%)."""
+        if self.total == 0.0:
+            return 0.0
+        return 2.0 * self.fma / self.total

@@ -1,0 +1,129 @@
+"""Event-queue simulator.
+
+A deliberately small kernel: a priority queue of timestamped events with
+stable FIFO ordering for ties.  Handlers may schedule further events.
+Time is in seconds of simulated wall clock from campaign start.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback.
+
+    Ordering is (time, sequence) so simultaneous events fire in the order
+    they were scheduled — important for prologue-before-sample semantics
+    at interval boundaries.
+    """
+
+    time: float
+    seq: int
+    handler: Callable[["Simulator"], None] = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it is skipped when popped."""
+        self.cancelled = True
+
+
+class SimClock:
+    """Monotonic simulated clock owned by the :class:`Simulator`."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def _advance(self, t: float) -> None:
+        if t < self._now:
+            raise ValueError(f"clock cannot run backwards: {t} < {self._now}")
+        self._now = t
+
+
+class Simulator:
+    """Priority-queue discrete-event simulator."""
+
+    def __init__(self) -> None:
+        self.clock = SimClock()
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def schedule(
+        self,
+        delay: float,
+        handler: Callable[["Simulator"], None],
+        *,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``handler`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, handler, name=name)
+
+    def schedule_at(
+        self,
+        time: float,
+        handler: Callable[["Simulator"], None],
+        *,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``handler`` at an absolute simulated time."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule into the past ({time} < {self.now})")
+        ev = Event(time=time, seq=next(self._seq), handler=handler, name=name)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def peek(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Run the next event.  Returns ``False`` when the queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self.clock._advance(ev.time)
+            self.events_processed += 1
+            ev.handler(self)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Drain the queue, optionally stopping at a time horizon.
+
+        With ``until`` set, events at exactly ``until`` still fire and the
+        clock is left at ``until`` (so periodic samplers scheduled on the
+        horizon boundary are included, as the paper's final-day 15-minute
+        sample would be).
+        """
+        processed = 0
+        while True:
+            nxt = self.peek()
+            if nxt is None:
+                break
+            if until is not None and nxt > until:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            self.step()
+            processed += 1
+        if until is not None and until > self.now:
+            self.clock._advance(until)

@@ -1,0 +1,111 @@
+"""Terminal rendering of the paper's figures.
+
+There is no plotting library in the offline environment, so every figure
+harness emits (a) a CSV-able data series and (b) an ASCII rendering good
+enough to eyeball the *shape* the paper shows: the Figure 1 time series,
+the Figure 2 walltime histogram, and the Figure 3/5 scatters.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _normalize(
+    values: np.ndarray, lo: float | None, hi: float | None
+) -> tuple[np.ndarray, float, float]:
+    vmin = float(np.min(values)) if lo is None else lo
+    vmax = float(np.max(values)) if hi is None else hi
+    if vmax <= vmin:
+        vmax = vmin + 1.0
+    return (values - vmin) / (vmax - vmin), vmin, vmax
+
+
+def ascii_series(
+    y: Sequence[float],
+    *,
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    ymin: float | None = None,
+    ymax: float | None = None,
+    marker: str = "*",
+) -> str:
+    """Render a 1-D series as a fixed-size character plot (Figures 1, 4)."""
+    arr = np.asarray(y, dtype=float)
+    if arr.size == 0:
+        return title + "\n(empty series)"
+    # Downsample/bin the x axis to the plot width using bin means.
+    bins = np.array_split(arr, min(width, arr.size))
+    binned = np.array([b.mean() for b in bins])
+    norm, vmin, vmax = _normalize(binned, ymin, ymax)
+    rows = np.clip((norm * (height - 1)).round().astype(int), 0, height - 1)
+    grid = [[" "] * len(binned) for _ in range(height)]
+    for x, r in enumerate(rows):
+        grid[height - 1 - r][x] = marker
+    lines = [title] if title else []
+    lines.append(f"{vmax:10.3g} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{vmin:10.3g} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + "-" * len(binned))
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    labels: Sequence[object],
+    counts: Sequence[float],
+    *,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal bar chart keyed by label (Figure 2)."""
+    vals = np.asarray(counts, dtype=float)
+    if len(labels) != vals.size:
+        raise ValueError("labels and counts must have equal length")
+    lines = [title] if title else []
+    if vals.size == 0:
+        lines.append("(empty histogram)")
+        return "\n".join(lines)
+    peak = vals.max() if vals.max() > 0 else 1.0
+    label_w = max(len(str(lb)) for lb in labels)
+    for lb, v in zip(labels, vals):
+        bar = "#" * int(round(width * v / peak))
+        lines.append(f"{str(lb).rjust(label_w)} | {bar} {v:.3g}")
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    x: Sequence[float],
+    y: Sequence[float],
+    *,
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    marker: str = "o",
+) -> str:
+    """2-D scatter (Figures 3 and 5)."""
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.shape != ys.shape:
+        raise ValueError("x and y must have equal length")
+    lines = [title] if title else []
+    if xs.size == 0:
+        lines.append("(empty scatter)")
+        return "\n".join(lines)
+    nx, xmin, xmax = _normalize(xs, None, None)
+    ny, ymin, ymax = _normalize(ys, None, None)
+    grid = [[" "] * width for _ in range(height)]
+    cols = np.clip((nx * (width - 1)).round().astype(int), 0, width - 1)
+    rows = np.clip((ny * (height - 1)).round().astype(int), 0, height - 1)
+    for c, r in zip(cols, rows):
+        grid[height - 1 - r][c] = marker
+    lines.append(f"{ymax:10.3g} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{ymin:10.3g} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + "-" * width)
+    lines.append(" " * 12 + f"{xmin:<.3g}".ljust(width - 8) + f"{xmax:>.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Plain-text table rendering for the experiment harness.
+
+Each benchmark regenerates one of the paper's tables and prints it in the
+same row order; this module does the formatting so the generators only
+produce ``(label, values...)`` rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass
+class Table:
+    """A titled grid of cells with a header row.
+
+    Cells may be strings or numbers; numbers are formatted with
+    ``float_fmt`` (default three significant decimals like the paper).
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[object]] = field(default_factory=list)
+    float_fmt: str = "{:.3g}"
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def add_section(self, label: str) -> None:
+        """A full-width section divider row (Table 3's OPS/INST/CACHE/IO)."""
+        self.rows.append([f"-- {label} --"] + [""] * (len(self.columns) - 1))
+
+    def column(self, name: str) -> list[object]:
+        """Extract a column by header name, skipping section rows."""
+        idx = list(self.columns).index(name)
+        return [r[idx] for r in self.rows if not _is_section(r)]
+
+    def as_dict(self) -> dict[str, list[object]]:
+        return {c: self.column(c) for c in self.columns}
+
+    def render(self) -> str:
+        return render_table(self)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def _is_section(row: Sequence[object]) -> bool:
+    first = row[0]
+    return isinstance(first, str) and first.startswith("-- ")
+
+
+def _fmt(cell: object, float_fmt: str) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return float_fmt.format(cell)
+    if isinstance(cell, int):
+        return str(cell)
+    return str(cell)
+
+
+def render_table(table: Table) -> str:
+    """Render to a boxed, column-aligned ASCII table."""
+    header = [str(c) for c in table.columns]
+    body = [[_fmt(c, table.float_fmt) for c in row] for row in table.rows]
+    widths = [len(h) for h in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Iterable[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = [table.title, sep, line(header), sep]
+    for row in body:
+        out.append(line(row))
+    out.append(sep)
+    return "\n".join(out)

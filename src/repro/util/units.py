@@ -1,0 +1,49 @@
+"""Unit helpers and SP2 machine constants.
+
+The paper reports rates in Mflops/Mips/Mops (millions per second), sizes
+in kB/MB/GB, and times in seconds or microseconds.  Centralizing the
+conversions keeps the counter algebra in :mod:`repro.hpm.derived` free of
+magic numbers.
+"""
+
+from __future__ import annotations
+
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+MICROSECOND = 1e-6
+
+#: Bytes in one machine word on the POWER2 (64-bit floating point data
+#: moves in 8-byte words; the paper's DMA transfers are 4 or 8 words).
+WORD_BYTES = 8
+
+
+def bytes_per_word(words: float) -> float:
+    """Convert a word count to bytes using the POWER2 8-byte word."""
+    return words * WORD_BYTES
+
+
+def mflops(flops: float, seconds: float) -> float:
+    """Rate in millions of floating-point operations per second."""
+    if seconds <= 0.0:
+        return 0.0
+    return flops / seconds / MEGA
+
+
+def gflops(flops: float, seconds: float) -> float:
+    """Rate in billions of floating-point operations per second."""
+    if seconds <= 0.0:
+        return 0.0
+    return flops / seconds / GIGA
+
+
+def per_second_to_mega(count: float, seconds: float) -> float:
+    """Generic count → millions-per-second rate (the paper's M*/S rows)."""
+    if seconds <= 0.0:
+        return 0.0
+    return count / seconds / MEGA

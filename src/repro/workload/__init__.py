@@ -1,0 +1,48 @@
+"""Synthetic NAS workload generation.
+
+The paper's nine months of production cannot be replayed from data (none
+survives), so this subpackage regenerates it *mechanistically* from the
+population §4–§6 describe:
+
+* :mod:`repro.workload.kernels` — instruction-mix models of the
+  computational kernels (multiblock CFD solvers, optimization sweeps,
+  blocked matrix multiply, strided legacy codes, NPB BT, sequential
+  access), each with an access-pattern-derived memory behaviour and a
+  dependency profile;
+* :mod:`repro.workload.profile` — turns a kernel + parallel structure
+  (halo exchange, I/O cadence) into the steady per-node counter rates
+  PBS installs on nodes;
+* :mod:`repro.workload.apps` — the application catalog with node-count
+  and memory-demand distributions (including the §6 paging-prone wide
+  jobs);
+* :mod:`repro.workload.users` — the user population and submission
+  process (diurnal demand, day-to-day load random walk);
+* :mod:`repro.workload.traces` — the 270-day campaign trace generator.
+"""
+
+from repro.workload.kernels import KernelSpec, KERNELS, kernel
+from repro.workload.profile import JobProfile, build_job_profile
+from repro.workload.apps import ApplicationTemplate, APPLICATIONS, application
+from repro.workload.users import UserPopulation, DemandModel
+from repro.workload.traces import CampaignTrace, Submission, generate_trace
+from repro.workload.npb import NPB_SUITE, NPBSpec, npb, suite_report
+
+__all__ = [
+    "KernelSpec",
+    "KERNELS",
+    "kernel",
+    "JobProfile",
+    "build_job_profile",
+    "ApplicationTemplate",
+    "APPLICATIONS",
+    "application",
+    "UserPopulation",
+    "DemandModel",
+    "CampaignTrace",
+    "Submission",
+    "generate_trace",
+    "NPB_SUITE",
+    "NPBSpec",
+    "npb",
+    "suite_report",
+]

@@ -1,0 +1,162 @@
+"""Domain decomposition — §4's parallelization strategy.
+
+"The flowfield surrounding a complete aircraft is partitioned into
+blocks ... Parallelization of the computation occurs thru a domain
+decomposition strategy allocating one or more blocks to each processor.
+Each processor runs a copy of the flow solver and the various processors
+communicate with each other generally through nearest neighbor
+communication."
+
+This module implements that machinery for structured 3-D grids: split a
+global grid into a processor grid, compute each rank's sub-extent, its
+face neighbours, and its halo-exchange volume — the numbers the job
+profiles' :class:`~repro.workload.profile.CommPattern` summarizes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def factor3(p: int) -> tuple[int, int, int]:
+    """Most-cubic 3-factor decomposition of ``p`` processors."""
+    if p <= 0:
+        raise ValueError("processor count must be positive")
+    best: tuple[int, int, int] | None = None
+    best_score = None
+    for a in range(1, int(round(p ** (1 / 3))) + 2):
+        if p % a:
+            continue
+        q = p // a
+        for b in range(a, int(q**0.5) + 1):
+            if q % b:
+                continue
+            c = q // b
+            dims = (a, b, c)
+            score = max(dims) / min(dims)
+            if best_score is None or score < best_score:
+                best, best_score = dims, score
+    if best is None:
+        best = (1, 1, p)
+    return best
+
+
+@dataclass(frozen=True)
+class Subdomain:
+    """One rank's piece of the global grid."""
+
+    rank: int
+    coords: tuple[int, int, int]
+    lo: tuple[int, int, int]
+    hi: tuple[int, int, int]  # exclusive
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return tuple(h - l for l, h in zip(self.lo, self.hi))  # type: ignore[return-value]
+
+    @property
+    def cells(self) -> int:
+        return int(np.prod(self.shape))
+
+    def face_area(self, axis: int) -> int:
+        s = self.shape
+        return int(np.prod([s[i] for i in range(3) if i != axis]))
+
+
+class Decomposition:
+    """A structured 3-D grid split over a processor grid."""
+
+    def __init__(
+        self,
+        global_shape: tuple[int, int, int],
+        n_ranks: int,
+        *,
+        proc_grid: tuple[int, int, int] | None = None,
+    ) -> None:
+        if any(s <= 0 for s in global_shape):
+            raise ValueError("grid extents must be positive")
+        self.global_shape = tuple(int(s) for s in global_shape)
+        if proc_grid is None:
+            # Align the largest processor dimension with the largest
+            # grid axis (minimizes surface-to-volume of the subdomains).
+            dims = sorted(factor3(n_ranks))
+            axis_order = np.argsort(np.argsort([-s for s in self.global_shape]))
+            proc_grid = tuple(dims[::-1][axis_order[a]] for a in range(3))
+        self.proc_grid = proc_grid
+        if int(np.prod(self.proc_grid)) != n_ranks:
+            raise ValueError(
+                f"processor grid {self.proc_grid} does not cover {n_ranks} ranks"
+            )
+        if any(p > s for p, s in zip(self.proc_grid, self.global_shape)):
+            raise ValueError("more processors than grid planes along an axis")
+        self.n_ranks = n_ranks
+
+    # ------------------------------------------------------------------
+    def _extent(self, axis: int, coord: int) -> tuple[int, int]:
+        """Near-equal split of one axis (remainder spread from the low
+        end, as the classic block distribution does)."""
+        n, p = self.global_shape[axis], self.proc_grid[axis]
+        base, extra = divmod(n, p)
+        lo = coord * base + min(coord, extra)
+        hi = lo + base + (1 if coord < extra else 0)
+        return lo, hi
+
+    def coords_of(self, rank: int) -> tuple[int, int, int]:
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} out of range")
+        px, py, pz = self.proc_grid
+        return (rank // (py * pz), (rank // pz) % py, rank % pz)
+
+    def rank_of(self, coords: tuple[int, int, int]) -> int:
+        px, py, pz = self.proc_grid
+        x, y, z = coords
+        return (x * py + y) * pz + z
+
+    def subdomain(self, rank: int) -> Subdomain:
+        coords = self.coords_of(rank)
+        extents = [self._extent(axis, coords[axis]) for axis in range(3)]
+        return Subdomain(
+            rank=rank,
+            coords=coords,
+            lo=tuple(e[0] for e in extents),
+            hi=tuple(e[1] for e in extents),
+        )
+
+    def neighbors(self, rank: int) -> dict[str, int]:
+        """Face neighbours: axis+direction label → neighbour rank."""
+        coords = self.coords_of(rank)
+        out: dict[str, int] = {}
+        for axis, sign in itertools.product(range(3), (-1, +1)):
+            nb = list(coords)
+            nb[axis] += sign
+            if 0 <= nb[axis] < self.proc_grid[axis]:
+                label = f"{'xyz'[axis]}{'-' if sign < 0 else '+'}"
+                out[label] = self.rank_of(tuple(nb))  # type: ignore[arg-type]
+        return out
+
+    def halo_bytes(self, rank: int, *, variables: int, element_bytes: int = 8) -> float:
+        """Bytes exchanged per iteration by one rank (all faces, both
+        directions counted once as sends)."""
+        sub = self.subdomain(rank)
+        total_faces = 0
+        for label in self.neighbors(rank):
+            axis = "xyz".index(label[0])
+            total_faces += sub.face_area(axis)
+        return float(total_faces * variables * element_bytes)
+
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        """Partition invariants: disjoint cover of the global grid."""
+        seen = 0
+        for r in range(self.n_ranks):
+            seen += self.subdomain(r).cells
+        if seen != int(np.prod(self.global_shape)):
+            raise AssertionError("subdomains do not cover the grid exactly")
+
+    def balance(self) -> float:
+        """max/mean cell count over ranks (1.0 = perfect)."""
+        cells = [self.subdomain(r).cells for r in range(self.n_ranks)]
+        return max(cells) / (sum(cells) / len(cells))

@@ -1,0 +1,270 @@
+"""Instruction-mix models of the workload's computational kernels.
+
+A :class:`KernelSpec` describes a code's *per-flop* instruction economy:
+how its flops split across add/mul/div/fma, how many memory instructions
+support each flop (the §5 register-reuse ratio), how much instruction-
+level parallelism its dependency graph exposes, and what its memory
+access pattern does to the cache and TLB.  Miss ratios are derived from
+the access-pattern parameters with the same formulas the reference
+cache/TLB simulators validate (see ``tests/power2/test_dcache.py``).
+
+Anchors from the paper:
+
+* the workload-average CFD mix (Table 3): fma ≈54% of flops,
+  flops/memref ≈0.6, ilp ≈0.74 (FPU ratio 1.7), cache-miss ratio ≈1%,
+  TLB ≈0.1%;
+* the blocked matrix multiply (§5): 240 Mflops, flops/memref = 3.0,
+  nearly all fma;
+* NPB BT (Table 4): 44 Mflops/CPU, miss ratios 1.2% / 0.06%;
+* the no-reuse sequential walk (Table 4): 3% / 0.2%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.power2.config import MachineConfig, POWER2_590
+from repro.power2.dcache import SetAssociativeCache
+from repro.power2.isa import InstructionMix
+from repro.power2.pipeline import DependencyProfile, MemoryBehaviour
+from repro.power2.tlb import TLB
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """Cache-relevant shape of a kernel's memory references.
+
+    ``reuse_fraction`` is the fraction of references satisfied from
+    previously touched lines/pages (blocking and loop order raise it);
+    ``stride_bytes`` is the dominant stride of the *non-reused* walk.
+    """
+
+    reuse_fraction: float = 0.0
+    stride_bytes: int = 8
+    #: Multiplier on the stride-derived TLB miss ratio.  Codes that jump
+    #: between many grid blocks (multiblock CFD) touch far more pages
+    #: than a single strided walk — §7 calls out "relatively high TLB
+    #: miss rates" as a workload signature.
+    tlb_locality_factor: float = 1.0
+
+    def dcache_miss_ratio(self, config: MachineConfig = POWER2_590) -> float:
+        base = SetAssociativeCache.strided_miss_ratio(config.dcache, self.stride_bytes)
+        return (1.0 - self.reuse_fraction) * base
+
+    def tlb_miss_ratio(self, config: MachineConfig = POWER2_590) -> float:
+        base = TLB.strided_miss_ratio(config.tlb, self.stride_bytes)
+        return min(1.0, (1.0 - self.reuse_fraction) * base * self.tlb_locality_factor)
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One computational kernel's per-flop instruction economy."""
+
+    name: str
+    description: str
+    #: Fraction of flops produced by fma instructions (2 flops each).
+    fma_flop_fraction: float
+    #: Of the non-fma flops, fraction that are adds (rest multiplies,
+    #: minus the divide share below).
+    add_share: float
+    #: Fraction of flops that are divides (the monitor won't report
+    #: them, but they execute and cost 10 cycles each).
+    div_flop_fraction: float
+    #: Memory instructions per flop (1 / the §5 register-reuse ratio).
+    mem_insts_per_flop: float
+    #: Fraction of memory instructions issued as quad (two doublewords).
+    quad_fraction: float
+    #: FP-unit non-arithmetic instructions per flop (moves, fp stores).
+    fp_misc_per_flop: float
+    #: Integer/addressing instructions per flop.
+    int_per_flop: float
+    #: Branches per flop (loop ends; §5 reads ≈11% of instructions).
+    branch_per_flop: float
+    #: Condition-register ops per flop.
+    cr_per_flop: float
+    deps: DependencyProfile
+    access: AccessPattern
+    #: I-cache misses per instruction (loops mostly re-execute, §5:
+    #: ≈0.4%% of fetches miss for the workload).
+    icache_miss_ratio: float = 2.5e-4
+
+    def mix_for_flops(self, flops: float) -> InstructionMix:
+        """The instruction mix that produces ``flops`` flops."""
+        if flops < 0:
+            raise ValueError("flops cannot be negative")
+        fma_flops = flops * self.fma_flop_fraction
+        div = flops * self.div_flop_fraction
+        single_flops = flops - fma_flops - div
+        mem = flops * self.mem_insts_per_flop
+        quad = mem * self.quad_fraction
+        nonquad = mem - quad
+        return InstructionMix(
+            fp_add=single_flops * self.add_share,
+            fp_mul=single_flops * (1.0 - self.add_share),
+            fp_div=div,
+            fp_fma=fma_flops / 2.0,
+            fp_misc=flops * self.fp_misc_per_flop,
+            # Loads outnumber stores roughly 2:1 in solver sweeps.
+            loads=nonquad * (2.0 / 3.0),
+            stores=nonquad * (1.0 / 3.0),
+            quad_loads=quad * (2.0 / 3.0),
+            quad_stores=quad * (1.0 / 3.0),
+            int_ops=flops * self.int_per_flop,
+            branches=flops * self.branch_per_flop,
+            cr_ops=flops * self.cr_per_flop,
+        )
+
+    def memory_behaviour(self, config: MachineConfig = POWER2_590) -> MemoryBehaviour:
+        return MemoryBehaviour(
+            dcache_miss_ratio=self.access.dcache_miss_ratio(config),
+            tlb_miss_ratio=self.access.tlb_miss_ratio(config),
+            icache_miss_ratio=self.icache_miss_ratio,
+        )
+
+    def with_(self, **changes: object) -> "KernelSpec":
+        """A modified copy (used for per-job variability)."""
+        return replace(self, **changes)
+
+
+def _k(**kw: object) -> KernelSpec:
+    return KernelSpec(**kw)  # type: ignore[arg-type]
+
+
+#: The kernel catalog.  Every application template references one.
+KERNELS: dict[str, KernelSpec] = {
+    k.name: k
+    for k in (
+        _k(
+            name="cfd_multiblock",
+            description="Implicit multiblock CFD solver sweep (the workload's bulk)",
+            fma_flop_fraction=0.50,
+            add_share=0.60,
+            div_flop_fraction=0.015,
+            mem_insts_per_flop=1.55,
+            quad_fraction=0.10,
+            fp_misc_per_flop=0.12,
+            int_per_flop=0.10,
+            branch_per_flop=0.20,
+            cr_per_flop=0.05,
+            deps=DependencyProfile(ilp=0.74, load_use_fraction=0.25),
+            access=AccessPattern(
+                reuse_fraction=0.68, stride_bytes=8, tlb_locality_factor=2.5
+            ),
+        ),
+        _k(
+            name="cfd_tuned",
+            description="Cache-blocked CFD solver (the better-performing codes, §7)",
+            fma_flop_fraction=0.72,
+            add_share=0.55,
+            div_flop_fraction=0.01,
+            mem_insts_per_flop=1.00,
+            quad_fraction=0.35,
+            fp_misc_per_flop=0.08,
+            int_per_flop=0.06,
+            branch_per_flop=0.08,
+            cr_per_flop=0.02,
+            deps=DependencyProfile(ilp=0.78, load_use_fraction=0.22),
+            access=AccessPattern(reuse_fraction=0.85, stride_bytes=8),
+        ),
+        _k(
+            name="legacy_vector",
+            description="Unported vector-machine code: long strides, poor reuse",
+            fma_flop_fraction=0.30,
+            add_share=0.55,
+            div_flop_fraction=0.03,
+            mem_insts_per_flop=2.0,
+            quad_fraction=0.0,
+            fp_misc_per_flop=0.15,
+            int_per_flop=0.12,
+            branch_per_flop=0.18,
+            cr_per_flop=0.05,
+            deps=DependencyProfile(ilp=0.55, load_use_fraction=0.40),
+            access=AccessPattern(
+                reuse_fraction=0.50, stride_bytes=32, tlb_locality_factor=2.0
+            ),
+        ),
+        _k(
+            name="matmul_blocked",
+            description="Fully blocked, unrolled single-node matrix multiply (§5's 240 Mflops anchor)",
+            fma_flop_fraction=0.98,
+            add_share=0.50,
+            div_flop_fraction=0.0,
+            mem_insts_per_flop=1.0 / 3.0,
+            quad_fraction=0.60,
+            fp_misc_per_flop=0.01,
+            int_per_flop=0.02,
+            branch_per_flop=0.01,
+            cr_per_flop=0.005,
+            deps=DependencyProfile(ilp=0.98, load_use_fraction=0.01),
+            access=AccessPattern(reuse_fraction=0.995, stride_bytes=8),
+        ),
+        _k(
+            name="npb_bt",
+            description="NAS Parallel Benchmark BT: loop nests rearranged for cache reuse (Table 4)",
+            fma_flop_fraction=0.70,
+            add_share=0.55,
+            div_flop_fraction=0.01,
+            mem_insts_per_flop=1.15,
+            quad_fraction=0.25,
+            fp_misc_per_flop=0.10,
+            int_per_flop=0.08,
+            branch_per_flop=0.10,
+            cr_per_flop=0.03,
+            deps=DependencyProfile(ilp=0.78, load_use_fraction=0.20),
+            access=AccessPattern(reuse_fraction=0.62, stride_bytes=8),
+        ),
+        _k(
+            name="sequential_access",
+            description="Single large array walked once, no reuse (Table 4's bound)",
+            fma_flop_fraction=0.0,
+            add_share=1.0,
+            div_flop_fraction=0.0,
+            mem_insts_per_flop=1.0,
+            quad_fraction=0.0,
+            fp_misc_per_flop=0.02,
+            int_per_flop=0.05,
+            branch_per_flop=0.06,
+            cr_per_flop=0.01,
+            deps=DependencyProfile(ilp=0.80, load_use_fraction=0.50),
+            access=AccessPattern(reuse_fraction=0.0, stride_bytes=8),
+        ),
+        _k(
+            name="spectral_em",
+            description="BLAS3-heavy electromagnetic scattering solver (§5's 29 Gflops code family)",
+            fma_flop_fraction=0.80,
+            add_share=0.55,
+            div_flop_fraction=0.005,
+            mem_insts_per_flop=0.90,
+            quad_fraction=0.45,
+            fp_misc_per_flop=0.06,
+            int_per_flop=0.05,
+            branch_per_flop=0.05,
+            cr_per_flop=0.015,
+            deps=DependencyProfile(ilp=0.80, load_use_fraction=0.12),
+            access=AccessPattern(reuse_fraction=0.90, stride_bytes=8),
+        ),
+        _k(
+            name="nonfp_preproc",
+            description="Grid generation / preprocessing: integer and I/O heavy, little FP",
+            fma_flop_fraction=0.05,
+            add_share=0.80,
+            div_flop_fraction=0.01,
+            mem_insts_per_flop=6.0,
+            quad_fraction=0.0,
+            fp_misc_per_flop=0.30,
+            int_per_flop=4.0,
+            branch_per_flop=1.5,
+            cr_per_flop=0.4,
+            deps=DependencyProfile(ilp=0.60, load_use_fraction=0.35),
+            access=AccessPattern(reuse_fraction=0.55, stride_bytes=16),
+        ),
+    )
+}
+
+
+def kernel(name: str) -> KernelSpec:
+    """Look up a kernel by name."""
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise KeyError(f"unknown kernel {name!r}; known: {sorted(KERNELS)}") from None

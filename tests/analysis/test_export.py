@@ -1,0 +1,67 @@
+"""Machine-readable exports."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    dataset_summary,
+    dataset_to_json,
+    export_all_figures,
+    table_to_csv,
+)
+from repro.analysis.tables import table1, table3
+from repro.util.tables import Table
+
+
+class TestTableCsv:
+    def test_header_and_rows(self):
+        t = Table(title="x", columns=("a", "b"))
+        t.add_row("r1", 1.5)
+        csv = table_to_csv(t)
+        lines = csv.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "r1,1.5"
+
+    def test_sections_become_comments(self, month_dataset):
+        csv = table_to_csv(table3(month_dataset))
+        assert any(line.startswith("# OPS") for line in csv.splitlines())
+
+    def test_quoting(self):
+        t = Table(title="x", columns=("a",))
+        t.add_row('with,comma "quoted"')
+        csv = table_to_csv(t)
+        assert '"with,comma ""quoted"""' in csv
+
+    def test_table1_roundtrips_column_count(self):
+        csv = table_to_csv(table1())
+        rows = [l for l in csv.splitlines() if not l.startswith("#")]
+        assert all(len(r.split(",")) >= 3 for r in rows[:5])
+
+
+class TestDatasetSummary:
+    def test_structure(self, small_dataset):
+        s = dataset_summary(small_dataset)
+        assert set(s) == {"config", "campaign", "headlines"}
+        assert s["config"]["n_days"] == small_dataset.config.n_days
+        assert s["campaign"]["jobs_accounted"] == len(small_dataset.accounting)
+        assert s["campaign"]["daily_gflops_mean"] > 0
+
+    def test_headlines_complete(self, small_dataset):
+        s = dataset_summary(small_dataset)
+        claims = {h["claim"] for h in s["headlines"]}
+        assert "average daily system performance" in claims
+        for h in s["headlines"]:
+            assert {"claim", "paper", "measured", "unit", "ratio"} <= set(h)
+
+    def test_json_parses(self, small_dataset):
+        parsed = json.loads(dataset_to_json(small_dataset))
+        assert parsed["config"]["n_nodes"] == small_dataset.config.n_nodes
+
+
+class TestFigureExport:
+    def test_all_five_figures(self, small_dataset):
+        out = export_all_figures(small_dataset)
+        assert set(out) == {f"figure{i}" for i in range(1, 6)}
+        for text in out.values():
+            assert text.count("\n") >= 1  # header + at least one row

@@ -1,0 +1,138 @@
+"""Figures 1-5: series structure and the paper's shapes."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import figure1, figure2, figure3, figure4, figure5
+
+
+class TestFigure1:
+    def test_series_present(self, month_dataset):
+        f = figure1(month_dataset)
+        assert set(f.series) == {
+            "daily_gflops",
+            "daily_gflops_moving_avg",
+            "utilization_moving_avg",
+        }
+        assert len(f.series["daily_gflops"]) == month_dataset.config.n_days
+
+    def test_moving_average_smoother_than_daily(self, month_dataset):
+        f = figure1(month_dataset)
+        assert np.std(np.diff(f.series["daily_gflops_moving_avg"])) < np.std(
+            np.diff(f.series["daily_gflops"])
+        )
+
+    def test_renders_and_csv(self, month_dataset):
+        f = figure1(month_dataset)
+        assert "Performance History" in f.render()
+        csv = f.csv()
+        assert csv.splitlines()[0] == "daily_gflops,daily_gflops_moving_avg,utilization_moving_avg"
+        assert len(csv.splitlines()) == month_dataset.config.n_days + 1
+
+
+class TestFigure2:
+    def test_histogram_shape(self, month_dataset):
+        f = figure2(month_dataset)
+        assert f.kind == "histogram"
+        assert len(f.series["x"]) == len(f.series["y"])
+
+    def test_moderate_parallelism_dominates(self, month_dataset):
+        """Figure 2: 16/32/8-node jobs consume most walltime; >64-node
+        jobs essentially none."""
+        f = figure2(month_dataset)
+        x, y = f.series["x"], f.series["y"]
+        total = y.sum()
+        moderate = y[(x == 8) | (x == 16) | (x == 32)].sum()
+        wide = y[x > 64].sum()
+        assert moderate > 0.5 * total
+        assert wide < 0.1 * total
+
+    def test_peak_at_16(self, month_dataset):
+        f = figure2(month_dataset)
+        assert f.series["x"][int(np.argmax(f.series["y"]))] == 16
+
+
+class TestFigure3:
+    def test_scatter_shape(self, month_dataset):
+        f = figure3(month_dataset)
+        assert f.kind == "scatter"
+        assert len(f.series["x"]) == len(f.series["y"])
+        assert len(f.series["x"]) > 50
+
+    def test_rate_sustained_to_64_then_collapses(self, month_dataset):
+        """Figure 3's headline shape."""
+        f = figure3(month_dataset)
+        x, y = f.series["x"], f.series["y"]
+        mid = y[(x >= 8) & (x <= 64)]
+        wide = y[x > 64]
+        assert mid.mean() > 10.0
+        if wide.size:
+            assert wide.mean() < 0.6 * mid.mean()
+
+    def test_peak_rate_in_paper_band(self, month_dataset):
+        """Figure 3 peaks around 40 Mflops/node (at 24-32 nodes)."""
+        f = figure3(month_dataset)
+        x, y = f.series["x"], f.series["y"]
+        assert 35.0 <= y.max() <= 60.0
+        assert 16 <= x[int(np.argmax(y))] <= 48
+
+
+class TestFigure4:
+    def test_series_over_16_node_jobs(self, month_dataset):
+        f = figure4(month_dataset)
+        n16 = len(month_dataset.accounting.history_for_nodes(16))
+        assert len(f.series["job_mflops"]) == n16
+        assert len(f.series["job_ids"]) == n16
+
+    def test_job_ids_ascending(self, month_dataset):
+        ids = figure4(month_dataset).series["job_ids"]
+        assert (np.diff(ids) > 0).all()
+
+    def test_mean_near_320_mflops(self, month_dataset):
+        """Figure 4: 16-node jobs average ≈320 Mflops with a wide
+        spread (variance 200)."""
+        rates = figure4(month_dataset).series["job_mflops"]
+        assert 200.0 <= rates.mean() <= 480.0
+        assert rates.std() > 60.0
+
+    def test_other_node_counts_supported(self, month_dataset):
+        f = figure4(month_dataset, nodes=8)
+        assert "8-node" in f.title
+
+
+class TestFigure5:
+    def test_scatter_finite(self, month_dataset):
+        f = figure5(month_dataset)
+        assert np.isfinite(f.series["x"]).all()
+        assert np.isfinite(f.series["y"]).all()
+
+    def test_negative_correlation(self, month_dataset):
+        """§6: high system intervention on low-performance days."""
+        f = figure5(month_dataset)
+        x, y = f.series["x"], f.series["y"]
+        if x.size >= 5 and x.std() > 0:
+            assert np.corrcoef(x, y)[0, 1] < 0.1
+
+    def test_renders(self, month_dataset):
+        assert "System Intervention" in figure5(month_dataset).render()
+
+
+class TestFigure4AllCounts:
+    def test_popular_counts_have_histories(self, month_dataset):
+        from repro.analysis.figures import figure4_all_node_counts
+
+        by_count = figure4_all_node_counts(month_dataset)
+        assert 16 in by_count
+        assert 8 in by_count
+
+    def test_no_improvement_trend_anywhere(self, month_dataset):
+        """§6: 'Similar trends occur for other processor counts.'"""
+        from repro.analysis.figures import figure4_all_node_counts
+
+        by_count = figure4_all_node_counts(month_dataset, min_jobs=25)
+        assert by_count, "need at least one populous node count"
+        for nodes, fig in by_count.items():
+            rates = fig.series["job_mflops"]
+            half = len(rates) // 2
+            early, late = rates[:half].mean(), rates[half:].mean()
+            assert late <= 1.5 * early + 30.0, nodes

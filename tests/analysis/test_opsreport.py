@@ -1,0 +1,70 @@
+"""Daily operations reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.opsreport import campaign_ops_digest, day_ops, render_day_report
+
+
+class TestDayOps:
+    def test_basic_fields(self, month_dataset):
+        ops = day_ops(month_dataset, 5)
+        assert ops.day == 5
+        assert ops.gflops >= 0
+        assert 0 <= ops.utilization <= 1
+        assert ops.jobs_finished >= 0
+
+    def test_gflops_matches_daily_series(self, month_dataset):
+        daily = month_dataset.daily_gflops()
+        for day in (0, 10, 29):
+            assert day_ops(month_dataset, day).gflops == pytest.approx(daily[day])
+
+    def test_out_of_range_day(self, month_dataset):
+        with pytest.raises(IndexError):
+            day_ops(month_dataset, 300)
+
+    def test_top_jobs_sorted(self, month_dataset):
+        for day in range(10):
+            ops = day_ops(month_dataset, day)
+            rates = [r.total_mflops for r in ops.top_jobs]
+            assert rates == sorted(rates, reverse=True)
+
+    def test_suspects_have_high_ratio(self, month_dataset):
+        found = 0
+        for day in range(month_dataset.config.n_days):
+            ops = day_ops(month_dataset, day)
+            for rec in ops.paging_suspects:
+                assert rec.system_user_fxu_ratio > 0.5
+                found += 1
+        assert found > 0  # a month of NAS load has paging suspects
+
+    def test_jobs_counted_on_end_day(self, month_dataset):
+        total = sum(
+            day_ops(month_dataset, d).jobs_finished
+            for d in range(month_dataset.config.n_days)
+        )
+        in_horizon = [
+            r
+            for r in month_dataset.accounting.records
+            if r.end_time < month_dataset.config.n_days * 86400
+        ]
+        assert total == len(in_horizon)
+
+
+class TestRendering:
+    def test_day_report_mentions_key_lines(self, month_dataset):
+        text = render_day_report(day_ops(month_dataset, 3))
+        for needle in ("operations report", "performance", "workload", "memory", "i/o"):
+            assert needle in text
+
+    def test_suspects_section(self, month_dataset):
+        texts = [
+            render_day_report(day_ops(month_dataset, d))
+            for d in range(month_dataset.config.n_days)
+        ]
+        assert any("PAGING SUSPECTS" in t for t in texts)
+        assert any("no suspects" in t for t in texts)
+
+    def test_digest_one_line_per_day(self, month_dataset):
+        digest = campaign_ops_digest(month_dataset)
+        assert len(digest.splitlines()) == month_dataset.config.n_days

@@ -1,0 +1,67 @@
+"""Sensitivity harness plumbing (the sweeps themselves run in
+benchmarks/bench_sensitivity.py — they are campaign-sized)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import (
+    KNOBS,
+    SweepPoint,
+    _config_for,
+    render_sweep,
+    sweep,
+)
+from repro.core.study import StudyConfig
+from repro.power2.config import MachineConfig
+
+
+class TestConfigFor:
+    def test_demand_mean(self):
+        cfg = _config_for("demand_mean", 0.5, StudyConfig())
+        assert cfg.demand_mean == 0.5
+
+    def test_memory_bytes(self):
+        cfg = _config_for("memory_bytes", 256 * 1024 * 1024, StudyConfig())
+        assert cfg.machine_config.memory_bytes == 256 * 1024 * 1024
+
+    def test_paging_fault_limit(self):
+        cfg = _config_for("paging_fault_limit", 40.0, StudyConfig())
+        assert cfg.machine_config.paging_fault_limit == 40.0
+
+    def test_preserves_existing_machine_config(self):
+        base = StudyConfig(machine_config=MachineConfig(clock_hz=133.4e6))
+        cfg = _config_for("paging_fault_limit", 40.0, base)
+        assert cfg.machine_config.clock_hz == 133.4e6
+
+    def test_unknown_knob(self):
+        with pytest.raises(ValueError, match="unknown knob"):
+            _config_for("warp_factor", 9.0, StudyConfig())
+
+    def test_knob_registry(self):
+        assert set(KNOBS) == {"demand_mean", "memory_bytes", "paging_fault_limit"}
+
+
+class TestSweep:
+    def test_tiny_sweep_runs(self):
+        points = sweep("demand_mean", [0.3], n_days=1, n_nodes=16, n_users=4)
+        assert len(points) == 1
+        assert points[0].value == 0.3
+        assert points[0].daily_gflops_mean >= 0
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            sweep("demand_mean", [])
+
+
+class TestRender:
+    def test_render_includes_all_points(self):
+        pts = [
+            SweepPoint(0.1, 1.0, 0.3, 18.0, 5.0),
+            SweepPoint(0.2, 2.0, 0.6, 19.0, float("nan")),
+        ]
+        text = render_sweep("demand_mean", pts)
+        assert "demand_mean" in text
+        assert text.count("\n") == 3
+        assert "(—)" in text  # NaN wide-job column rendered gracefully

@@ -1,0 +1,73 @@
+"""NFS home filesystem model."""
+
+import pytest
+
+from repro.cluster.filesystem import FileServer, NFSFilesystem
+from repro.cluster.switch import HighPerformanceSwitch
+
+
+def fs() -> NFSFilesystem:
+    return NFSFilesystem(HighPerformanceSwitch())
+
+
+class TestFileServer:
+    def test_allocate_within_capacity(self):
+        s = FileServer("home0")
+        s.allocate(4e9)
+        assert s.used_bytes == 4e9
+
+    def test_allocate_beyond_capacity_raises(self):
+        s = FileServer("home0")
+        with pytest.raises(OSError):
+            s.allocate(9e9)
+
+    def test_free(self):
+        s = FileServer("home0")
+        s.allocate(1e9)
+        s.free(2e9)  # over-free clamps
+        assert s.used_bytes == 0.0
+
+    def test_negative_allocate_rejected(self):
+        with pytest.raises(ValueError):
+            FileServer("home0").allocate(-1.0)
+
+
+class TestNFS:
+    def test_three_home_filesystems(self):
+        """§2: '3 home filesystems of 8 GB each'."""
+        f = fs()
+        assert len(f.servers) == 3
+        assert all(s.capacity_bytes == 8e9 for s in f.servers)
+
+    def test_owner_mapping_is_stable(self):
+        f = fs()
+        assert f.server_for(5) is f.server_for(5)
+
+    def test_owners_spread_across_servers(self):
+        f = fs()
+        assert {f.server_for(u).name for u in range(6)} == {"home0", "home1", "home2"}
+
+    def test_transfer_includes_switch_and_disk_time(self):
+        f = fs()
+        nbytes = 12e6
+        t = f.transfer_seconds(nbytes, f.servers[0])
+        switch_t = f.switch.message_seconds(nbytes)
+        assert t == pytest.approx(switch_t + 1.0)  # 12 MB at 12 MB/s disk
+
+    def test_read_write_accounting(self):
+        f = fs()
+        f.read(0, 1000.0)
+        f.write(0, 2000.0)
+        server = f.server_for(0)
+        assert server.bytes_read == 1000.0
+        assert server.bytes_written == 2000.0
+        assert f.total_bytes_moved == 3000.0
+
+    def test_negative_transfer_rejected(self):
+        f = fs()
+        with pytest.raises(ValueError):
+            f.transfer_seconds(-1.0, f.servers[0])
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(ValueError):
+            NFSFilesystem(HighPerformanceSwitch(), n_servers=0)

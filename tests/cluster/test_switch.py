@@ -1,0 +1,91 @@
+"""High Performance Switch cost model."""
+
+import pytest
+
+from repro.cluster.switch import HighPerformanceSwitch
+from repro.power2.config import SP2_SWITCH, SwitchConfig
+
+
+class TestPointToPoint:
+    def test_zero_bytes_costs_latency(self):
+        sw = HighPerformanceSwitch()
+        assert sw.message_seconds(0) == pytest.approx(45e-6)
+
+    def test_bandwidth_term(self):
+        sw = HighPerformanceSwitch()
+        t = sw.message_seconds(34e6)  # one second of wire time
+        assert t == pytest.approx(1.0 + 45e-6)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            HighPerformanceSwitch().message_seconds(-1)
+
+    def test_send_accounts_traffic(self):
+        sw = HighPerformanceSwitch()
+        sw.send(1000.0)
+        sw.send(2000.0)
+        assert sw.bytes_carried == 3000.0
+        assert sw.messages_carried == 2
+
+
+class TestExchange:
+    def test_synchronous_serializes_neighbors(self):
+        sw = HighPerformanceSwitch()
+        one = sw.message_seconds(1e5)
+        cost = sw.exchange(1e5, 6, asynchronous=False)
+        assert cost.seconds == pytest.approx(6 * one)
+
+    def test_asynchronous_overlaps(self):
+        """§6: the 40 Mflops/node code used asynchronous message
+        passing — overlap must make exchanges much cheaper."""
+        sw = HighPerformanceSwitch()
+        sync = sw.exchange(1e5, 6, asynchronous=False).seconds
+        async_ = sw.exchange(1e5, 6, asynchronous=True).seconds
+        assert async_ < 0.4 * sync
+
+    def test_exchange_counts_both_directions(self):
+        sw = HighPerformanceSwitch()
+        cost = sw.exchange(1000.0, 4)
+        assert cost.bytes_sent == 4000.0
+        assert cost.bytes_received == 4000.0
+        assert cost.total_bytes == 8000.0
+
+    def test_zero_neighbors_free(self):
+        cost = HighPerformanceSwitch().exchange(1e6, 0)
+        assert cost.seconds == 0.0 and cost.total_bytes == 0.0
+
+    def test_negative_neighbors_rejected(self):
+        with pytest.raises(ValueError):
+            HighPerformanceSwitch().exchange(1.0, -1)
+
+    def test_overlap_fraction_validated(self):
+        with pytest.raises(ValueError):
+            HighPerformanceSwitch().exchange(1.0, 2, overlap_fraction=1.5)
+
+
+class TestScaling:
+    def test_aggregate_bandwidth_scales_linearly(self):
+        """§2: 'available communication bandwidth over this switch
+        scales linearly with the number of processors'."""
+        sw = HighPerformanceSwitch()
+        assert sw.aggregate_bandwidth(144) == pytest.approx(144 * 34e6)
+
+    def test_non_scaling_config(self):
+        sw = HighPerformanceSwitch(SwitchConfig(per_node_scaling=False))
+        assert sw.aggregate_bandwidth(144) == pytest.approx(34e6)
+
+    def test_negative_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            HighPerformanceSwitch().aggregate_bandwidth(-1)
+
+
+class TestGlobalSync:
+    def test_single_node_is_free(self):
+        assert HighPerformanceSwitch().global_sync_seconds(1) == 0.0
+
+    def test_log_scaling(self):
+        sw = HighPerformanceSwitch()
+        t16 = sw.global_sync_seconds(16)
+        t128 = sw.global_sync_seconds(128)
+        assert t128 > t16
+        assert t128 == pytest.approx(SP2_SWITCH.latency_seconds * 7)

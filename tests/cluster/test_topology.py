@@ -1,0 +1,88 @@
+"""HPS fabric topology (Stunkel et al., 1995)."""
+
+import pytest
+
+from repro.cluster.topology import FRAME_SIZE, HPSTopology
+
+
+@pytest.fixture(scope="module")
+def nas() -> HPSTopology:
+    """The NAS machine: 144 nodes = 9 frames."""
+    return HPSTopology(144)
+
+
+class TestConstruction:
+    def test_frame_count(self, nas):
+        assert nas.n_frames == 9
+
+    def test_partial_frame(self):
+        t = HPSTopology(20)  # one full frame + 4 nodes
+        assert t.n_frames == 2
+        assert t.graph.has_node(19)
+
+    def test_every_node_attached(self, nas):
+        for n in range(144):
+            assert nas.graph.degree(n) == 1  # one port into the fabric
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            HPSTopology(0)
+
+    def test_connected(self, nas):
+        import networkx as nx
+
+        assert nx.is_connected(nas.graph)
+
+
+class TestRouting:
+    def test_intra_frame_is_shorter_than_inter(self, nas):
+        intra = nas.chip_hops(0, 5)
+        inter = nas.chip_hops(0, FRAME_SIZE)
+        assert intra < inter
+
+    def test_same_chip_neighbors_two_hops(self, nas):
+        # Nodes 0-3 share a node-side chip: route is node→chip→node.
+        assert nas.chip_hops(0, 1) == 1
+
+    def test_inter_frame_hop_count(self, nas):
+        # node→nc→lc→(cable)→lc→nc→node = 4 chips.
+        assert nas.chip_hops(0, 140) == 4
+
+    def test_route_endpoints(self, nas):
+        r = nas.route(3, 77)
+        assert r.path[0] == 3 and r.path[-1] == 77
+
+    def test_out_of_range_rejected(self, nas):
+        with pytest.raises(ValueError):
+            nas.route(0, 144)
+
+    def test_hardware_latency_tiny_vs_software(self, nas):
+        """§2's 45 µs is software; the wire part is well under 1 µs."""
+        r = nas.route(0, 143)
+        assert r.hardware_latency_seconds < 1e-6
+
+
+class TestScaling:
+    def test_bisection_grows_with_frames(self):
+        """The structural basis of §2's 'bandwidth scales linearly'."""
+        small = HPSTopology(32).bisection_width()
+        large = HPSTopology(128).bisection_width()
+        assert large > 2 * small
+
+    def test_hop_count_flat_with_size(self):
+        """Any pair is ≤4 chip hops regardless of machine size — why
+        latency does not grow with the machine."""
+        for n in (16, 64, 144):
+            t = HPSTopology(n)
+            assert t.chip_hops(0, n - 1) <= 4
+
+    def test_no_hot_link_kind_under_uniform_traffic(self):
+        """§2: 'little performance degradation ... under a full load'."""
+        t = HPSTopology(64)
+        loads = t.link_load_under_uniform_traffic()
+        assert set(loads) == {"node-link", "board-link", "frame-cable"}
+        assert max(loads.values()) < 6.0 * min(loads.values())
+
+    def test_summary_renders(self, nas):
+        s = nas.summary()
+        assert "144 nodes" in s and "9 frames" in s

@@ -1,0 +1,23 @@
+"""Shared fixtures.
+
+The campaign fixtures are session-scoped: a small end-to-end study is
+expensive enough (~1 s) that the analysis/integration tests share one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.study import StudyDataset, run_study
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> StudyDataset:
+    """A 10-day, 64-node campaign — fast, but has real jobs and samples."""
+    return run_study(seed=7, n_days=10, n_nodes=64, n_users=20)
+
+
+@pytest.fixture(scope="session")
+def month_dataset() -> StudyDataset:
+    """A 30-day, 144-node campaign — used by calibration-sensitive tests."""
+    return run_study(seed=1, n_days=30, n_nodes=144, n_users=60)

@@ -1,0 +1,87 @@
+"""Study orchestration: end-to-end wiring of the campaign."""
+
+import numpy as np
+import pytest
+
+from repro.core.study import StudyConfig, WorkloadStudy, run_study
+from repro.workload.traces import generate_trace
+
+
+class TestRun:
+    def test_run_produces_dataset(self, small_dataset):
+        assert len(small_dataset.collector.samples) > 0
+        assert len(small_dataset.accounting) > 0
+        assert len(small_dataset.utilization_probes) > 0
+
+    def test_sample_count_matches_cadence(self, small_dataset):
+        cfg = small_dataset.config
+        expected = int(cfg.n_days * 86400 / cfg.sample_interval) + 1  # + baseline
+        assert len(small_dataset.collector.samples) == expected
+
+    def test_daily_series_lengths(self, small_dataset):
+        cfg = small_dataset.config
+        assert len(small_dataset.daily_gflops()) == cfg.n_days
+        assert len(small_dataset.daily_utilization()) == cfg.n_days
+
+    def test_some_flops_happened(self, small_dataset):
+        assert small_dataset.daily_gflops().sum() > 0
+
+    def test_utilization_in_unit_interval(self, small_dataset):
+        u = small_dataset.daily_utilization()
+        assert (u >= 0).all() and (u <= 1).all()
+
+    def test_interval_gflops_nonnegative(self, small_dataset):
+        _, g = small_dataset.interval_gflops()
+        assert (g >= 0).all()
+
+    def test_determinism(self):
+        a = run_study(seed=11, n_days=2, n_nodes=16, n_users=5)
+        b = run_study(seed=11, n_days=2, n_nodes=16, n_users=5)
+        np.testing.assert_allclose(a.daily_gflops(), b.daily_gflops())
+        assert len(a.accounting) == len(b.accounting)
+
+    def test_trace_machine_mismatch_rejected(self):
+        study = WorkloadStudy(StudyConfig(n_days=1, n_nodes=16))
+        trace = generate_trace(0, n_days=1, n_nodes=32)
+        with pytest.raises(ValueError, match="generated for 32"):
+            study.run(trace)
+
+    def test_external_trace_accepted(self):
+        trace = generate_trace(5, n_days=1, n_nodes=16, n_users=4)
+        ds = WorkloadStudy(StudyConfig(n_days=1, n_nodes=16)).run(trace)
+        assert ds.trace is trace
+
+
+class TestConsistency:
+    def test_counters_monotonic_across_samples(self, small_dataset):
+        samples = small_dataset.collector.samples
+        for before, after in zip(samples[:100], samples[1:101]):
+            assert (after.matrix - before.matrix >= 0).all()
+
+    def test_system_gflops_consistent_with_job_flops(self, small_dataset):
+        """Flops seen by the 15-min sampler ≈ flops accounted to jobs
+        plus still-running work (jobs produce all user-mode flops)."""
+        ivs = small_dataset.collector.intervals()
+        sampled = sum(
+            iv.totals.get("user.fpu0_fp_add", 0)
+            + iv.totals.get("user.fpu1_fp_add", 0)
+            + iv.totals.get("user.fpu0_fp_mul", 0)
+            + iv.totals.get("user.fpu1_fp_mul", 0)
+            + 2 * iv.totals.get("user.fpu0_fp_muladd", 0)
+            + 2 * iv.totals.get("user.fpu1_fp_muladd", 0)
+            for iv in ivs
+        )
+        from repro.pbs.job import JobRecord
+
+        accounted = sum(
+            JobRecord.flops_from_deltas(r.summed_deltas())
+            for r in small_dataset.accounting.records
+        )
+        assert accounted <= sampled * 1.001
+        assert accounted >= 0.5 * sampled  # most work finishes in-horizon
+
+    def test_busy_days_need_busy_probes(self, small_dataset):
+        g = small_dataset.daily_gflops()
+        u = small_dataset.daily_utilization()
+        # Performance requires utilization: the top-G day cannot be idle.
+        assert u[int(np.argmax(g))] > 0.2

@@ -1,0 +1,117 @@
+"""Event catalog and counter-group verification (§3)."""
+
+import pytest
+
+from repro.hpm.events import (
+    EVENT_SPACE,
+    EVENTS_PER_UNIT,
+    NAS_SELECTION,
+    SLOTS_PER_UNIT,
+    CounterGroup,
+    EventCatalog,
+    table1_rows,
+)
+
+
+class TestEventSpace:
+    def test_every_unit_has_16_events(self):
+        """§3: '16 reportable events each'."""
+        for unit, events in EVENT_SPACE.items():
+            assert len(events) == EVENTS_PER_UNIT, unit
+
+    def test_slot_counts_sum_to_22(self):
+        assert sum(SLOTS_PER_UNIT.values()) == 22
+
+
+class TestNASSelection:
+    def test_is_valid(self):
+        NAS_SELECTION.validate()
+
+    def test_has_22_counters(self):
+        assert NAS_SELECTION.n_counters == 22
+
+    def test_contains_paper_events(self):
+        assert "dcache_misses" in NAS_SELECTION.selection["FXU"]
+        assert "fp_muladd" in NAS_SELECTION.selection["FPU0"]
+        assert "dma_reads" in NAS_SELECTION.selection["SCU"]
+
+
+class TestGroupValidation:
+    def _selection(self, **overrides):
+        sel = {k: tuple(v) for k, v in NAS_SELECTION.selection.items()}
+        sel.update(overrides)
+        return sel
+
+    def test_wrong_slot_count_rejected(self):
+        g = CounterGroup("bad", self._selection(ICU=("type1_insts",)))
+        with pytest.raises(ValueError, match="needs 2 events"):
+            g.validate()
+
+    def test_unknown_event_rejected(self):
+        g = CounterGroup("bad", self._selection(ICU=("type1_insts", "nope")))
+        with pytest.raises(ValueError, match="no event"):
+            g.validate()
+
+    def test_duplicate_event_rejected(self):
+        g = CounterGroup("bad", self._selection(ICU=("type1_insts", "type1_insts")))
+        with pytest.raises(ValueError, match="duplicate"):
+            g.validate()
+
+    def test_missing_unit_rejected(self):
+        sel = self._selection()
+        del sel["SCU"]
+        with pytest.raises(ValueError, match="missing unit"):
+            CounterGroup("bad", sel).validate()
+
+
+class TestCatalog:
+    def test_nas_group_preverified(self):
+        cat = EventCatalog()
+        assert cat.is_verified("nas-table1")
+        assert cat.get("nas-table1") is not None
+
+    def test_unverified_group_refused(self):
+        """§3: 'each combination must be implemented and verified'."""
+        cat = EventCatalog()
+        g = CounterGroup("experimental", dict(NAS_SELECTION.selection))
+        cat.register(g)
+        with pytest.raises(PermissionError):
+            cat.get("experimental")
+
+    def test_verify_then_get(self):
+        cat = EventCatalog()
+        g = CounterGroup("experimental", dict(NAS_SELECTION.selection))
+        cat.register(g)
+        cat.verify("experimental")
+        assert cat.get("experimental") is g
+
+    def test_verify_unknown_raises(self):
+        with pytest.raises(KeyError):
+            EventCatalog().verify("nope")
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            EventCatalog().get("nope")
+
+    def test_register_validates(self):
+        cat = EventCatalog()
+        with pytest.raises(ValueError):
+            cat.register(CounterGroup("bad", {}))
+
+    def test_groups_listing(self):
+        assert "nas-table1" in EventCatalog().groups()
+
+
+class TestTable1:
+    def test_22_rows(self):
+        assert len(table1_rows()) == 22
+
+    def test_labels_match_paper_convention(self):
+        labels = [row[0] for row in table1_rows()]
+        assert "user.fxu0" in labels
+        assert "fpop.fp_muladd" in labels
+        assert labels.count("fpop.fp_add") == 2  # one per FPU
+
+    def test_slots_cover_all_units(self):
+        slots = {row[1] for row in table1_rows()}
+        assert {"FXU[0]", "FPU0[4]", "FPU1[4]", "ICU[1]", "SCU[4]"} <= slots

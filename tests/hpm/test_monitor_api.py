@@ -1,0 +1,98 @@
+"""Monitor interface and multipass sampling."""
+
+import pytest
+
+from repro.hpm.events import NAS_SELECTION, CounterGroup, EventCatalog
+from repro.hpm.monitor_api import MonitorInterface, MultipassSampler
+from repro.power2.counters import rates_vector
+from repro.power2.node import Node
+
+
+def busy_node() -> Node:
+    n = Node(0)
+    n.install_rates(
+        0.0,
+        rates_vector({"fpu0": 1e6, "fpu0_fp_add": 1e6, "fxu0": 2e6, "cycles": 3e7}),
+        busy=True,
+    )
+    return n
+
+
+class TestMonitorInterface:
+    def test_defaults_to_nas_group(self):
+        assert MonitorInterface(Node(0)).group.name == "nas-table1"
+
+    def test_read_syncs_node(self):
+        iface = MonitorInterface(busy_node())
+        r = iface.read(10.0)
+        assert r.values["user.fpu0"] == pytest.approx(1e7, rel=1e-9)
+
+    def test_delta(self):
+        iface = MonitorInterface(busy_node())
+        a = iface.read(10.0)
+        b = iface.read(20.0)
+        d = MonitorInterface.delta(a, b)
+        assert d["user.fpu0"] == pytest.approx(1e7, rel=1e-6)
+
+    def test_delta_rejects_cross_group(self):
+        iface = MonitorInterface(busy_node())
+        cat = iface.catalog
+        alt = CounterGroup("alt", dict(NAS_SELECTION.selection))
+        cat.register(alt, verified=True)
+        a = iface.read(1.0)
+        iface.program("alt")
+        b = iface.read(2.0)
+        with pytest.raises(ValueError):
+            MonitorInterface.delta(a, b)
+
+    def test_delta_rejects_out_of_order(self):
+        iface = MonitorInterface(busy_node())
+        a = iface.read(1.0)
+        b = iface.read(2.0)
+        with pytest.raises(ValueError):
+            MonitorInterface.delta(b, a)
+
+    def test_program_unverified_refused(self):
+        iface = MonitorInterface(Node(0))
+        iface.catalog.register(CounterGroup("x", dict(NAS_SELECTION.selection)))
+        with pytest.raises(PermissionError):
+            iface.program("x")
+
+
+class TestMultipassSampler:
+    def _catalog_with(self, iface, names):
+        for name in names:
+            iface.catalog.register(
+                CounterGroup(name, dict(NAS_SELECTION.selection)), verified=True
+            )
+
+    def test_single_group_equals_direct_measurement(self):
+        iface = MonitorInterface(busy_node())
+        sampler = MultipassSampler(iface, ["nas-table1"])
+        out = sampler.sample(0.0, 100.0)
+        assert out["nas-table1"]["user.fpu0"] == pytest.approx(1e8, rel=1e-6)
+
+    def test_multipass_extrapolates_to_full_interval(self):
+        """§3's multipass mode: each group sees 1/n of the time but the
+        estimate covers the whole interval (exact for steady rates)."""
+        iface = MonitorInterface(busy_node())
+        self._catalog_with(iface, ["g2", "g3"])
+        sampler = MultipassSampler(iface, ["nas-table1", "g2", "g3"])
+        out = sampler.sample(0.0, 300.0)
+        for group in ("nas-table1", "g2", "g3"):
+            assert out[group]["user.fpu0"] == pytest.approx(3e8, rel=1e-3)
+
+    def test_requires_verified_groups(self):
+        iface = MonitorInterface(Node(0))
+        iface.catalog.register(CounterGroup("raw", dict(NAS_SELECTION.selection)))
+        with pytest.raises(PermissionError):
+            MultipassSampler(iface, ["raw"])
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(ValueError):
+            MultipassSampler(MonitorInterface(Node(0)), [])
+
+    def test_empty_interval_rejected(self):
+        sampler = MultipassSampler(MonitorInterface(Node(0)), ["nas-table1"])
+        with pytest.raises(ValueError):
+            sampler.sample(5.0, 5.0)

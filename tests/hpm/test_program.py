@@ -1,0 +1,113 @@
+"""Per-program measurement (§3's user-level RS2HPM commands)."""
+
+import pytest
+
+from repro.hpm.program import ProgramMonitor
+from repro.power2.node import Node, PhaseKind, WorkPhase
+from repro.power2.pipeline import CycleModel, DependencyProfile, MemoryBehaviour
+from repro.workload.kernels import kernel
+
+
+def run_kernel(node: Node, name: str, flops: float) -> None:
+    k = kernel(name)
+    execution = CycleModel(node.config).execute(
+        k.mix_for_flops(flops), k.memory_behaviour(), k.deps
+    )
+    node.run_phase(WorkPhase(kind=PhaseKind.COMPUTE, execution=execution))
+
+
+class TestSinglePhase:
+    def test_measures_flops(self):
+        node = Node(0)
+        with ProgramMonitor(node) as pm:
+            run_kernel(node, "cfd_multiblock", 1e8)
+        rates = pm.report.rates
+        assert rates.mflops_total == pytest.approx(
+            1e8 / pm.report.total_seconds / 1e6, rel=0.05
+        )
+
+    def test_only_monitored_window_counted(self):
+        node = Node(0)
+        run_kernel(node, "cfd_multiblock", 1e8)  # before monitoring
+        with ProgramMonitor(node) as pm:
+            run_kernel(node, "cfd_multiblock", 1e7)
+        flops = pm.report.rates.mflops_total * pm.report.total_seconds
+        assert flops == pytest.approx(1e7 / 1e6, rel=0.05)  # Mflop units
+
+    def test_empty_program(self):
+        node = Node(0)
+        with ProgramMonitor(node) as pm:
+            pass
+        assert pm.report.phases == []
+        with pytest.raises(ValueError):
+            pm.report.rates
+
+
+class TestPhases:
+    def _run(self):
+        node = Node(0)
+        with ProgramMonitor(node, first_phase="init") as pm:
+            run_kernel(node, "nonfp_preproc", 2e6)
+            pm.mark("iterate")
+            run_kernel(node, "cfd_multiblock", 5e7)
+            pm.mark("output")
+            node.run_phase(
+                WorkPhase(kind=PhaseKind.IO_WAIT, seconds=0.5, dma_read_bytes=6e6)
+            )
+        return pm.report
+
+    def test_phase_names_ordered(self):
+        report = self._run()
+        assert [p.name for p in report.phases] == ["init", "iterate", "output"]
+
+    def test_phase_isolation(self):
+        report = self._run()
+        init = report.phase("init")
+        iterate = report.phase("iterate")
+        assert iterate.rates.mflops_total > 5 * init.rates.mflops_total
+
+    def test_io_phase_has_dma_but_no_flops(self):
+        output = self._run().phase("output")
+        assert output.deltas.get("user.dma_read", 0) > 0
+        assert output.rates.mflops_total == 0.0
+
+    def test_totals_are_sum_of_phases(self):
+        report = self._run()
+        total = report.totals()
+        by_hand: dict[str, int] = {}
+        for p in report.phases:
+            for k, v in p.deltas.items():
+                by_hand[k] = by_hand.get(k, 0) + v
+        assert total == by_hand
+
+    def test_hotspots_ranked(self):
+        report = self._run()
+        names = [n for n, _ in report.hotspots()]
+        assert names[0] == "iterate"
+        shares = [s for _, s in report.hotspots()]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_unknown_phase_raises(self):
+        with pytest.raises(KeyError):
+            self._run().phase("nope")
+
+    def test_mark_outside_context_raises(self):
+        pm = ProgramMonitor(Node(0))
+        with pytest.raises(RuntimeError):
+            pm.mark("x")
+
+
+class TestTuningWorkflow:
+    def test_before_after_comparison(self):
+        """The §7 story: a user rewrites for fma/register reuse and the
+        monitor shows the improvement."""
+        node = Node(0)
+        with ProgramMonitor(node, first_phase="legacy") as pm:
+            run_kernel(node, "legacy_vector", 2e7)
+            pm.mark("tuned")
+            run_kernel(node, "cfd_tuned", 2e7)
+        legacy = pm.report.phase("legacy").rates
+        tuned = pm.report.phase("tuned").rates
+        assert tuned.mflops_total > 2 * legacy.mflops_total
+        assert tuned.fma_flop_fraction > legacy.fma_flop_fraction
+        assert tuned.flops_per_memory_inst > legacy.flops_per_memory_inst

@@ -1,0 +1,52 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+The campaign-scale examples (quickstart, batch_job_study, ...) are
+exercised through the same APIs by the analysis tests; here we execute
+the quick scripts as real subprocesses so a packaging or import
+regression in ``examples/`` cannot ship silently.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+FAST_SCRIPTS = [
+    "single_kernel_hpm.py",
+    "counter_selection.py",
+    "cache_exploration.py",
+    "npb_suite.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_SCRIPTS)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_examples_directory_complete():
+    """Every example referenced by the README exists."""
+    readme = (EXAMPLES.parent / "README.md").read_text()
+    for script in EXAMPLES.glob("*.py"):
+        assert script.name in readme, f"{script.name} missing from README"
+
+
+def test_single_kernel_output_mentions_anchors():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "single_kernel_hpm.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "matmul" in proc.stdout
+    assert "Broken divide counter" in proc.stdout

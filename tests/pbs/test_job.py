@@ -1,0 +1,141 @@
+"""Job records: counter-delta algebra (§3's flop counting, §6's ratio)."""
+
+import pytest
+
+from repro.pbs.job import JobRecord, JobSpec, JobState
+
+
+def record(**overrides) -> JobRecord:
+    base = dict(
+        job_id=1,
+        user=3,
+        app_name="multiblock_cfd",
+        nodes_requested=2,
+        node_ids=(0, 1),
+        submit_time=0.0,
+        start_time=100.0,
+        end_time=1100.0,
+        counter_deltas={
+            0: {
+                "user.fpu0_fp_add": 3_000_000,
+                "user.fpu0_fp_mul": 1_000_000,
+                "user.fpu0_fp_muladd": 2_000_000,
+                "user.fxu0": 5_000_000,
+                "user.fxu1": 5_000_000,
+                "system.fxu0": 500_000,
+                "system.fxu1": 500_000,
+            },
+            1: {
+                "user.fpu1_fp_add": 1_000_000,
+                "user.fpu1_fp_muladd": 500_000,
+                "user.fxu0": 2_000_000,
+                "user.fxu1": 2_000_000,
+                "system.fxu0": 100_000,
+                "system.fxu1": 100_000,
+            },
+        },
+    )
+    base.update(overrides)
+    return JobRecord(**base)
+
+
+class TestTimes:
+    def test_walltime_and_wait(self):
+        r = record()
+        assert r.walltime_seconds == 1000.0
+        assert r.queue_wait_seconds == 100.0
+        assert r.node_seconds == 2000.0
+
+
+class TestFlopAlgebra:
+    def test_summed_deltas_adds_across_nodes(self):
+        d = record().summed_deltas()
+        assert d["user.fxu0"] == 7_000_000
+
+    def test_flops_from_deltas_fma_counts_twice(self):
+        d = record().summed_deltas()
+        flops = JobRecord.flops_from_deltas(d)
+        # adds (3e6 + 1e6) + muls (1e6) + 2 × fma (2e6 + 0.5e6)
+        assert flops == 4e6 + 1e6 + 2 * 2.5e6
+
+    def test_total_mflops(self):
+        r = record()
+        assert r.total_mflops == pytest.approx(10e6 / 1000.0 / 1e6)
+
+    def test_mflops_per_node(self):
+        r = record()
+        assert r.mflops_per_node == pytest.approx(r.total_mflops / 2)
+
+    def test_zero_walltime_yields_zero_rate(self):
+        r = record(end_time=100.0)
+        assert r.total_mflops == 0.0
+
+
+class TestSystemUserRatio:
+    def test_ratio(self):
+        r = record()
+        assert r.system_user_fxu_ratio == pytest.approx(1.2e6 / 14e6)
+
+    def test_ratio_with_zero_user(self):
+        r = record(
+            counter_deltas={0: {"system.fxu0": 10, "user.fxu0": 0}},
+        )
+        assert r.system_user_fxu_ratio == float("inf")
+
+    def test_ratio_all_zero(self):
+        r = record(counter_deltas={0: {}})
+        assert r.system_user_fxu_ratio == 0.0
+
+
+class TestJobSpec:
+    def test_wide_threshold_is_64(self):
+        class P:
+            walltime_seconds = 1.0
+            memory_bytes_per_node = 0.0
+            user_rates = None
+            system_rates = None
+            mflops_per_node = 0.0
+
+        narrow = JobSpec(1, 0, "a", 64, 0.0, P())
+        wide = JobSpec(2, 0, "a", 65, 0.0, P())
+        assert not narrow.is_wide
+        assert wide.is_wide
+
+    def test_invalid_nodes_rejected(self):
+        class P:
+            pass
+
+        with pytest.raises(ValueError):
+            JobSpec(1, 0, "a", 0, 0.0, P())
+
+    def test_starts_queued(self):
+        class P:
+            pass
+
+        assert JobSpec(1, 0, "a", 1, 0.0, P()).state is JobState.QUEUED
+
+
+class TestRegisterReuseProperties:
+    def test_flops_per_memory_inst(self):
+        r = record()
+        d = r.summed_deltas()
+        expected = JobRecord.flops_from_deltas(d) / (
+            d["user.fxu0"] + d["user.fxu1"]
+        )
+        assert r.flops_per_memory_inst == pytest.approx(expected)
+
+    def test_flops_per_memory_inst_no_fxu(self):
+        r = record(counter_deltas={0: {"user.fpu0_fp_add": 100}})
+        assert r.flops_per_memory_inst == 0.0
+
+    def test_fma_flop_fraction(self):
+        r = record()
+        d = r.summed_deltas()
+        fma = d["user.fpu0_fp_muladd"] + d.get("user.fpu1_fp_muladd", 0)
+        assert r.fma_flop_fraction == pytest.approx(
+            2 * fma / JobRecord.flops_from_deltas(d)
+        )
+
+    def test_fma_fraction_no_flops(self):
+        r = record(counter_deltas={0: {"user.fxu0": 100}})
+        assert r.fma_flop_fraction == 0.0

@@ -1,0 +1,93 @@
+"""qsub / qstat / qdel facade."""
+
+import pytest
+
+from repro.cluster.machine import SP2Machine
+from repro.pbs.qcmds import PBSCommands
+from repro.pbs.scheduler import PBSServer
+from repro.sim.engine import Simulator
+
+SCRIPT_16 = "#PBS -N wing\n#PBS -l nodes=16,walltime=01:00:00\n./arc3d\n"
+SCRIPT_128 = "#PBS -l nodes=128\n./widesync\n"
+
+
+def commands(n_nodes=144) -> PBSCommands:
+    sim = Simulator()
+    return PBSCommands(PBSServer(sim, SP2Machine(n_nodes)), seed=4)
+
+
+class TestQsub:
+    def test_submits_and_starts(self):
+        q = commands()
+        job = q.qsub(SCRIPT_16)
+        assert job.nodes_requested == 16
+        assert q.server.n_running == 1
+
+    def test_walltime_limit_enforced(self):
+        q = commands()
+        q.qsub(SCRIPT_16)
+        q.server.sim.run()
+        rec = q.server.accounting.records[0]
+        assert rec.walltime_seconds <= 3600.0 + 1e-6
+
+    def test_deterministic_given_seed(self):
+        a = commands().qsub(SCRIPT_16)
+        b = commands().qsub(SCRIPT_16)
+        assert a.profile.mflops_per_node == b.profile.mflops_per_node
+
+    def test_bad_script_raises(self):
+        with pytest.raises(Exception):
+            commands().qsub("#PBS -l nodes=two\n./arc3d\n")
+
+
+class TestQstat:
+    def test_running_and_queued_rows(self):
+        q = commands(n_nodes=16)
+        q.qsub(SCRIPT_16)        # fills the machine
+        q.qsub(SCRIPT_16)        # queued behind it
+        rows = q.qstat()
+        states = sorted(r.state for r in rows)
+        assert states == ["Q", "R"]
+
+    def test_named_job_shown(self):
+        q = commands()
+        q.qsub(SCRIPT_16)
+        rows = q.qstat()
+        assert rows[0].name == "wing"
+
+    def test_render(self):
+        q = commands()
+        q.qsub(SCRIPT_16)
+        out = q.qstat_render()
+        assert "wing" in out and " R " in out
+
+    def test_empty(self):
+        assert len(commands().qstat()) == 0
+
+
+class TestQdel:
+    def test_deletes_queued_job(self):
+        q = commands(n_nodes=16)
+        q.qsub(SCRIPT_16)
+        queued = q.qsub(SCRIPT_16)
+        assert q.qdel(queued.job_id) is True
+        assert all(r.job_id != queued.job_id for r in q.qstat())
+
+    def test_cannot_delete_running_job(self):
+        """§6: MPI/PVM jobs could not be checkpointed."""
+        q = commands(n_nodes=16)
+        running = q.qsub(SCRIPT_16)
+        assert q.qdel(running.job_id) is False
+        assert q.server.n_running == 1
+
+    def test_unknown_job(self):
+        assert commands().qdel(999) is False
+
+    def test_deleted_job_never_runs(self):
+        q = commands(n_nodes=16)
+        q.qsub(SCRIPT_16)
+        queued = q.qsub(SCRIPT_16)
+        q.qdel(queued.job_id)
+        q.server.sim.run()
+        ids = {r.job_id for r in q.server.accounting.records}
+        assert queued.job_id not in ids

@@ -1,0 +1,116 @@
+"""Queue policy: FIFO, backfill, drain for wide jobs (§6)."""
+
+import numpy as np
+import pytest
+
+from repro.pbs.job import JobSpec, JobState
+from repro.pbs.queue import JobQueue
+from repro.power2.counters import BANK_SIZE
+
+
+class FakeProfile:
+    walltime_seconds = 1000.0
+    memory_bytes_per_node = 64e6
+    user_rates = np.zeros(BANK_SIZE)
+    system_rates = np.zeros(BANK_SIZE)
+    mflops_per_node = 10.0
+
+
+def job(job_id: int, nodes: int) -> JobSpec:
+    return JobSpec(
+        job_id=job_id,
+        user=0,
+        app_name="t",
+        nodes_requested=nodes,
+        submit_time=0.0,
+        profile=FakeProfile(),
+    )
+
+
+class TestFIFO:
+    def test_head_starts_when_it_fits(self):
+        q = JobQueue()
+        q.submit(job(1, 8))
+        q.submit(job(2, 8))
+        assert q.pop_startable(16).job_id == 1
+        assert q.pop_startable(16).job_id == 2
+
+    def test_empty_queue_returns_none(self):
+        assert JobQueue().pop_startable(100) is None
+
+    def test_submit_requires_queued_state(self):
+        j = job(1, 4)
+        j.state = JobState.RUNNING
+        with pytest.raises(ValueError):
+            JobQueue().submit(j)
+
+
+class TestBackfill:
+    def test_narrow_blocked_head_allows_backfill(self):
+        q = JobQueue()
+        q.submit(job(1, 32))  # narrow but does not fit
+        q.submit(job(2, 8))
+        assert q.pop_startable(16).job_id == 2
+        assert len(q) == 1  # head still waiting
+
+    def test_backfill_disabled_is_strict_fifo(self):
+        q = JobQueue(backfill=False)
+        q.submit(job(1, 32))
+        q.submit(job(2, 8))
+        assert q.pop_startable(16) is None
+
+    def test_backfill_skips_jobs_that_do_not_fit(self):
+        q = JobQueue()
+        q.submit(job(1, 32))
+        q.submit(job(2, 24))
+        q.submit(job(3, 4))
+        assert q.pop_startable(16).job_id == 3
+
+
+class TestDrain:
+    def test_wide_blocked_head_drains_queue(self):
+        """§6: queues drained for >64-node jobs — no backfill past one."""
+        q = JobQueue()
+        q.submit(job(1, 96))
+        q.submit(job(2, 4))
+        assert q.pop_startable(64) is None  # small job must wait too
+
+    def test_wide_job_starts_once_machine_drains(self):
+        q = JobQueue()
+        q.submit(job(1, 96))
+        q.submit(job(2, 4))
+        assert q.pop_startable(144).job_id == 1
+        assert q.pop_startable(48).job_id == 2
+
+    def test_draining_for_reports_blocking_job(self):
+        q = JobQueue()
+        q.submit(job(1, 96))
+        assert q.draining_for(64).job_id == 1
+        assert q.draining_for(144) is None
+
+    def test_64_nodes_is_not_wide(self):
+        q = JobQueue()
+        q.submit(job(1, 64))
+        q.submit(job(2, 4))
+        assert q.pop_startable(32).job_id == 2  # backfill allowed
+
+    def test_custom_threshold(self):
+        q = JobQueue(wide_threshold=16)
+        q.submit(job(1, 24))
+        q.submit(job(2, 4))
+        assert q.pop_startable(8) is None
+
+
+class TestIntrospection:
+    def test_queued_jobs_snapshot(self):
+        q = JobQueue()
+        q.submit(job(1, 4))
+        q.submit(job(2, 8))
+        assert [j.job_id for j in q.queued_jobs()] == [1, 2]
+
+    def test_iteration_and_len(self):
+        q = JobQueue()
+        for i in range(3):
+            q.submit(job(i, 2))
+        assert len(q) == 3
+        assert len(list(q)) == 3

@@ -1,0 +1,106 @@
+"""Batch-script parsing (#PBS directives + rs2hpm commands)."""
+
+import pytest
+
+from repro.pbs.scripts import BatchRequest, ScriptError, parse_batch_script
+
+GOOD = """\
+#!/bin/sh
+#PBS -N wingflow
+#PBS -l nodes=16,walltime=02:30:00
+#PBS -q batch
+#PBS -o run.out
+cd $HOME/cases/wing
+rs2hpm start
+mpirun -np 16 ./arc3d wing.inp
+rs2hpm stop
+cp solution.q $HOME/results/
+"""
+
+
+class TestHappyPath:
+    def test_full_script(self):
+        req = parse_batch_script(GOOD)
+        assert req.nodes == 16
+        assert req.walltime_seconds == 2 * 3600 + 30 * 60
+        assert req.job_name == "wingflow"
+        assert req.queue == "batch"
+        assert req.app_name == "multiblock_cfd"
+        assert req.app_args == ("wing.inp",)
+        assert req.wants_hpm_report
+
+    def test_minimal_script(self):
+        req = parse_batch_script("#PBS -l nodes=4\n./gridgen in.g\n")
+        assert req.nodes == 4
+        assert req.app_name == "nonfp_preproc"
+        assert not req.wants_hpm_report
+        assert req.walltime_seconds is None
+
+    def test_separate_resource_directives(self):
+        req = parse_batch_script(
+            "#PBS -l nodes=8\n#PBS -l walltime=45:00\n./bt\n"
+        )
+        assert req.nodes == 8
+        assert req.walltime_seconds == 2700.0
+        assert req.app_name == "npb_bt_benchmark"
+
+    def test_poe_launcher(self):
+        req = parse_batch_script("#PBS -l nodes=28\npoe -procs 28 ./upwell case1\n")
+        assert req.app_name == "navier_stokes_async"
+
+    def test_walltime_seconds_form(self):
+        req = parse_batch_script("#PBS -l nodes=1,walltime=900\n./matmul\n")
+        assert req.walltime_seconds == 900.0
+
+    def test_ignored_directives_accepted(self):
+        req = parse_batch_script("#PBS -m abe\n#PBS -l nodes=2,mem=64mb\n./vecport\n")
+        assert req.nodes == 2
+
+    def test_shell_noise_ignored(self):
+        req = parse_batch_script(
+            "# a comment\n\n echo starting \n#PBS -l nodes=2\n./emscat\n"
+        )
+        assert req.app_name == "spectral_em"
+
+
+class TestErrors:
+    def test_malformed_directive(self):
+        with pytest.raises(ScriptError, match="malformed"):
+            parse_batch_script("#PBS nodes=4\n./arc3d\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(ScriptError, match="unknown directive"):
+            parse_batch_script("#PBS -Z whatever\n./arc3d\n")
+
+    def test_unknown_resource(self):
+        with pytest.raises(ScriptError, match="unknown resource"):
+            parse_batch_script("#PBS -l gpus=4\n./arc3d\n")
+
+    def test_bad_walltime(self):
+        with pytest.raises(ScriptError, match="bad walltime"):
+            parse_batch_script("#PBS -l nodes=2,walltime=2h\n./arc3d\n")
+
+    def test_bad_node_count(self):
+        with pytest.raises(ScriptError, match="bad node count"):
+            parse_batch_script("#PBS -l nodes=sixteen\n./arc3d\n")
+
+    def test_no_application(self):
+        with pytest.raises(ScriptError, match="no known application"):
+            parse_batch_script("#PBS -l nodes=2\necho hello\n")
+
+    def test_two_applications(self):
+        with pytest.raises(ScriptError, match="two applications"):
+            parse_batch_script("#PBS -l nodes=2\n./arc3d\n./emscat\n")
+
+    def test_rs2hpm_without_verb(self):
+        with pytest.raises(ScriptError, match="rs2hpm"):
+            parse_batch_script("#PBS -l nodes=2\nrs2hpm\n./arc3d\n")
+
+    def test_launcher_without_program(self):
+        with pytest.raises(ScriptError, match="launcher"):
+            parse_batch_script("#PBS -l nodes=2\nmpirun -np 2\n./arc3d\n")
+
+    def test_validate_rejects_zero_nodes(self):
+        req = BatchRequest(nodes=0, app_name="multiblock_cfd")
+        with pytest.raises(ScriptError):
+            req.validate()

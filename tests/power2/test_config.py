@@ -1,0 +1,79 @@
+"""Machine constants: geometry invariants and paper values."""
+
+import pytest
+
+from repro.power2.config import (
+    POWER2_590,
+    SP2_SWITCH,
+    CacheGeometry,
+    MachineConfig,
+    TLBGeometry,
+)
+
+
+class TestDcacheGeometry:
+    def test_paper_geometry(self):
+        """§2: 256 kB, 4-way, 1024 lines of 256 bytes."""
+        g = POWER2_590.dcache
+        assert g.total_bytes == 256 * 1024
+        assert g.line_bytes == 256
+        assert g.associativity == 4
+        assert g.n_lines == 1024
+        assert g.n_sets == 256
+
+    def test_size_must_divide_by_line(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(total_bytes=1000, line_bytes=256)
+
+    def test_lines_must_divide_by_assoc(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(total_bytes=1024, line_bytes=256, associativity=3)
+
+
+class TestTLBGeometry:
+    def test_paper_geometry(self):
+        """§2: 512 entries, 4096-byte pages."""
+        g = POWER2_590.tlb
+        assert g.entries == 512
+        assert g.page_bytes == 4096
+
+    def test_entries_must_divide_by_assoc(self):
+        with pytest.raises(ValueError):
+            TLBGeometry(entries=511, associativity=2)
+
+
+class TestMachineConfig:
+    def test_peak_mflops_is_267(self):
+        """§2: 66.7 MHz × 4 flops/cycle ≈ 267 Mflops."""
+        assert POWER2_590.peak_mflops == pytest.approx(266.8, abs=0.5)
+
+    def test_cycle_time(self):
+        assert POWER2_590.cycle_seconds == pytest.approx(1.0 / 66.7e6)
+
+    def test_miss_penalties_match_paper(self):
+        """§5: 8-cycle cache miss; TLB miss 36-54 cycles (we use 45)."""
+        assert POWER2_590.dcache_miss_cycles == 8.0
+        assert 36.0 <= POWER2_590.tlb_miss_cycles <= 54.0
+
+    def test_multicycle_ops(self):
+        """§5: 10-cycle divide, 15-cycle square root."""
+        assert POWER2_590.fp_div_cycles == 10.0
+        assert POWER2_590.fp_sqrt_cycles == 15.0
+
+    def test_node_memory_is_128mb(self):
+        assert POWER2_590.memory_bytes == 128 * 1024 * 1024
+
+    def test_config_is_frozen(self):
+        with pytest.raises(AttributeError):
+            POWER2_590.clock_hz = 1e9  # type: ignore[misc]
+
+    def test_custom_config_independent(self):
+        fast = MachineConfig(clock_hz=133.4e6)
+        assert fast.peak_mflops == pytest.approx(2 * POWER2_590.peak_mflops)
+
+
+class TestSwitchConfig:
+    def test_paper_values(self):
+        """§2: ≈45 µs latency, 34 MB/s."""
+        assert SP2_SWITCH.latency_seconds == pytest.approx(45e-6)
+        assert SP2_SWITCH.bandwidth_bytes_per_s == pytest.approx(34e6)

@@ -1,0 +1,95 @@
+"""Dual-unit dispatch: the §5 asymmetry mechanisms."""
+
+import pytest
+
+from repro.power2.dispatch import DispatchModel
+from repro.power2.isa import InstructionMix
+
+
+class TestFPUSplit:
+    def test_paper_ratio_at_default_ilp(self):
+        """ilp = 0.74 reproduces the measured FPU0:FPU1 ≈ 1.7."""
+        dm = DispatchModel(ilp=0.74)
+        d = dm.split(InstructionMix(fp_add=60.0, fp_mul=20.0, fp_fma=20.0))
+        assert d.fpu_ratio == pytest.approx(1.7, rel=0.02)
+
+    def test_full_ilp_balances_units(self):
+        dm = DispatchModel(ilp=1.0)
+        d = dm.split(InstructionMix(fp_add=100.0))
+        assert d.fpu_ratio == pytest.approx(1.0)
+
+    def test_zero_ilp_starves_fpu1(self):
+        dm = DispatchModel(ilp=0.0)
+        d = dm.split(InstructionMix(fp_add=100.0))
+        assert d.fpu1 == 0.0
+        assert d.fpu_ratio == float("inf")
+
+    def test_ilp_for_fpu_ratio_inverts_split(self):
+        for ratio in (1.0, 1.5, 1.7, 3.0):
+            ilp = DispatchModel.ilp_for_fpu_ratio(ratio)
+            d = DispatchModel(ilp=ilp).split(InstructionMix(fp_add=1000.0))
+            assert d.fpu_ratio == pytest.approx(ratio, rel=1e-6)
+
+    def test_ratio_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            DispatchModel.ilp_for_fpu_ratio(0.9)
+
+    def test_multicycle_ops_prefer_fpu1(self):
+        """§5: divides/square roots are what spill work to FPU1."""
+        dm = DispatchModel(ilp=0.5)
+        d = dm.split(InstructionMix(fp_div=100.0))
+        assert d.fpu1_div > d.fpu0_div
+
+    def test_per_unit_breakdown_sums_to_category_totals(self):
+        mix = InstructionMix(fp_add=10.0, fp_mul=7.0, fp_div=2.0, fp_fma=5.0)
+        d = DispatchModel(ilp=0.6).split(mix)
+        assert d.fpu0_add + d.fpu1_add == pytest.approx(mix.fp_add)
+        assert d.fpu0_mul + d.fpu1_mul == pytest.approx(mix.fp_mul)
+        assert d.fpu0_div + d.fpu1_div == pytest.approx(mix.fp_div + mix.fp_sqrt)
+        assert d.fpu0_fma + d.fpu1_fma == pytest.approx(mix.fp_fma)
+
+    def test_fp_misc_split_between_units(self):
+        mix = InstructionMix(fp_misc=100.0)
+        d = DispatchModel(ilp=0.74).split(mix)
+        assert d.fpu0 + d.fpu1 == pytest.approx(100.0)
+
+
+class TestFXUSplit:
+    def test_memory_insts_interleave_evenly(self):
+        d = DispatchModel().split(InstructionMix(loads=60.0, stores=40.0))
+        assert d.fxu0 == pytest.approx(d.fxu1)
+
+    def test_address_arithmetic_biases_fxu1(self):
+        """§5: FXU1 solely performs address multiply/divide."""
+        d = DispatchModel(fxu1_address_share=0.85).split(
+            InstructionMix(loads=100.0, int_ops=40.0)
+        )
+        assert d.fxu1 > d.fxu0
+
+    def test_miss_handling_biases_fxu0(self):
+        """§5: FXU0 has the additional cache-miss duty."""
+        dm = DispatchModel()
+        d = dm.split(InstructionMix(loads=100.0), dcache_miss_handling=30.0)
+        assert d.fxu0 > d.fxu1
+
+    def test_fxu_total_conserved(self):
+        mix = InstructionMix(loads=50.0, stores=30.0, quad_loads=10.0, int_ops=20.0)
+        d = DispatchModel().split(mix)
+        assert d.fxu_total == pytest.approx(mix.fxu_insts)
+
+
+class TestICU:
+    def test_branches_are_type1(self):
+        d = DispatchModel().split(InstructionMix(branches=30.0, cr_ops=7.0))
+        assert d.icu_type1 == 30.0
+        assert d.icu_type2 == 7.0
+
+
+class TestValidation:
+    def test_ilp_out_of_range(self):
+        with pytest.raises(ValueError):
+            DispatchModel(ilp=1.5)
+
+    def test_fxu1_share_out_of_range(self):
+        with pytest.raises(ValueError):
+            DispatchModel(fxu1_address_share=-0.1)

@@ -1,0 +1,105 @@
+"""Instruction-mix algebra: the paper's flop-counting rules."""
+
+import pytest
+
+from repro.power2.isa import FlopBreakdown, InstructionMix
+
+
+class TestFlopCounting:
+    def test_fma_counts_twice(self):
+        """§5: 'The fma operation counts as an add and a multiply'."""
+        mix = InstructionMix(fp_fma=10.0)
+        assert mix.flops == 20.0
+
+    def test_singles_count_once(self):
+        mix = InstructionMix(fp_add=3.0, fp_mul=4.0, fp_div=2.0, fp_sqrt=1.0)
+        assert mix.flops == 10.0
+
+    def test_misc_fp_produces_no_flops(self):
+        assert InstructionMix(fp_misc=100.0).flops == 0.0
+
+    def test_arith_vs_all_fpu_insts(self):
+        mix = InstructionMix(fp_add=1.0, fp_fma=2.0, fp_misc=3.0)
+        assert mix.fp_arith_insts == 3.0
+        assert mix.fpu_insts == 6.0
+
+
+class TestMemoryCounting:
+    def test_quad_counts_as_one_instruction(self):
+        """§5: 'a quad load or quad store [counts] as a single instruction'."""
+        mix = InstructionMix(quad_loads=5.0, quad_stores=5.0)
+        assert mix.memory_insts == 10.0
+
+    def test_quad_moves_two_words(self):
+        mix = InstructionMix(loads=4.0, quad_loads=3.0)
+        assert mix.memory_words == 10.0
+
+    def test_fxu_includes_int_ops(self):
+        mix = InstructionMix(loads=2.0, int_ops=3.0)
+        assert mix.fxu_insts == 5.0
+
+
+class TestTotals:
+    def test_total_insts_spans_units(self):
+        mix = InstructionMix(
+            fp_add=1.0, fp_misc=1.0, loads=1.0, int_ops=1.0, branches=1.0, cr_ops=1.0
+        )
+        assert mix.total_insts == 6.0
+
+    def test_total_ops_counts_fma_and_quads_twice(self):
+        mix = InstructionMix(fp_fma=2.0, quad_loads=3.0, loads=1.0)
+        # insts = 2 + 3 + 1; ops adds one extra per fma and per quad.
+        assert mix.total_ops == 6.0 + 2.0 + 3.0
+
+
+class TestAlgebra:
+    def test_scaled(self):
+        mix = InstructionMix(fp_add=2.0, loads=4.0).scaled(0.5)
+        assert mix.fp_add == 1.0 and mix.loads == 2.0
+
+    def test_scaled_negative_raises(self):
+        with pytest.raises(ValueError):
+            InstructionMix().scaled(-1.0)
+
+    def test_addition(self):
+        a = InstructionMix(fp_add=1.0, branches=2.0)
+        b = InstructionMix(fp_add=3.0, loads=1.0)
+        c = a + b
+        assert (c.fp_add, c.branches, c.loads) == (4.0, 2.0, 1.0)
+
+    def test_replace(self):
+        mix = InstructionMix(fp_add=1.0).replace(fp_add=9.0)
+        assert mix.fp_add == 9.0
+
+    def test_validate_rejects_negative(self):
+        with pytest.raises(ValueError):
+            InstructionMix(fp_add=-1.0).validate()
+
+    def test_validate_rejects_nan(self):
+        with pytest.raises(ValueError):
+            InstructionMix(loads=float("nan")).validate()
+
+    def test_zero(self):
+        assert InstructionMix.zero().total_insts == 0.0
+
+
+class TestFlopBreakdown:
+    def test_fma_add_lands_in_add_row(self):
+        """§5: fma multiply → fma row, fma add → add row."""
+        mix = InstructionMix(fp_add=3.0, fp_mul=2.0, fp_fma=4.0)
+        b = FlopBreakdown.from_mix(mix)
+        assert b.add == 7.0  # 3 pure + 4 fma adds
+        assert b.mul == 2.0
+        assert b.fma == 4.0
+
+    def test_total_equals_flops(self):
+        mix = InstructionMix(fp_add=3.0, fp_mul=2.0, fp_div=1.0, fp_fma=4.0)
+        b = FlopBreakdown.from_mix(mix)
+        assert b.total == mix.flops
+
+    def test_fma_fraction(self):
+        mix = InstructionMix(fp_add=4.0, fp_fma=2.0)  # flops = 8, fma flops = 4
+        assert FlopBreakdown.from_mix(mix).fma_fraction == pytest.approx(0.5)
+
+    def test_fma_fraction_empty(self):
+        assert FlopBreakdown.from_mix(InstructionMix()).fma_fraction == 0.0

@@ -1,0 +1,190 @@
+"""Node model: phases, paging physics, rate fast path."""
+
+import numpy as np
+import pytest
+
+from repro.power2.config import POWER2_590
+from repro.power2.counters import Mode, rates_vector
+from repro.power2.isa import InstructionMix
+from repro.power2.node import (
+    DMA_TRANSFER_BYTES,
+    Node,
+    PhaseKind,
+    WorkPhase,
+    compute_paging_state,
+)
+from repro.power2.pipeline import CycleModel, DependencyProfile, MemoryBehaviour
+
+
+def execution(flops=1e6):
+    mix = InstructionMix(fp_add=flops, loads=flops)
+    return CycleModel().execute(mix, MemoryBehaviour(), DependencyProfile())
+
+
+class TestMemoryManagement:
+    def test_assign_and_release(self):
+        n = Node(0)
+        n.assign_memory(64e6)
+        assert n.memory_used == 64e6
+        n.release_memory(64e6)
+        assert n.memory_used == 0.0
+
+    def test_release_more_than_assigned_raises(self):
+        n = Node(0)
+        n.assign_memory(1e6)
+        with pytest.raises(ValueError):
+            n.release_memory(2e6)
+
+    def test_negative_assign_rejected(self):
+        with pytest.raises(ValueError):
+            Node(0).assign_memory(-1.0)
+
+    def test_oversubscription_allowed(self):
+        """§6: demand beyond 128 MB is legal — it just pages."""
+        n = Node(0)
+        n.assign_memory(200 * 1024 * 1024)
+        assert n.paging_state().fault_rate_per_s > 0
+
+
+class TestPagingPhysics:
+    def test_no_paging_within_memory(self):
+        st = compute_paging_state(100e6, 128e6, POWER2_590)
+        assert st.fault_rate_per_s == 0.0 and st.stolen_fraction == 0.0
+
+    def test_paging_grows_with_oversubscription(self):
+        mild = compute_paging_state(1.05 * 128e6, 128e6, POWER2_590)
+        severe = compute_paging_state(1.5 * 128e6, 128e6, POWER2_590)
+        assert severe.fault_rate_per_s >= mild.fault_rate_per_s > 0
+
+    def test_fault_rate_saturates_at_disk_limit(self):
+        st = compute_paging_state(10 * 128e6, 128e6, POWER2_590, fault_limit=110.0)
+        assert st.fault_rate_per_s == pytest.approx(110.0)
+
+    def test_stolen_fraction_capped(self):
+        st = compute_paging_state(10 * 128e6, 128e6, POWER2_590)
+        assert st.stolen_fraction <= 0.98
+
+    def test_thrashing_flag(self):
+        st = compute_paging_state(2 * 128e6, 128e6, POWER2_590)
+        assert st.thrashing
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            compute_paging_state(1.0, 0.0, POWER2_590)
+
+
+class TestPhases:
+    def test_compute_phase_accrues_user_counters(self):
+        n = Node(0)
+        res = n.run_phase(WorkPhase(kind=PhaseKind.COMPUTE, execution=execution()))
+        assert res.user_flops == pytest.approx(1e6)
+        assert n.monitor.banks[Mode.USER].read("fpu0") > 0
+
+    def test_compute_without_execution_raises(self):
+        with pytest.raises(ValueError):
+            Node(0).run_phase(WorkPhase(kind=PhaseKind.COMPUTE))
+
+    def test_waits_tick_no_user_counters(self):
+        """§5: message-passing and I/O waits are invisible to the user
+        counters — the paper's central caveat."""
+        n = Node(0)
+        n.run_phase(WorkPhase(kind=PhaseKind.COMM_WAIT, seconds=10.0))
+        assert n.monitor.banks[Mode.USER].read("fpu0") == 0
+        assert n.monitor.banks[Mode.USER].read("fxu0") == 0
+
+    def test_io_wait_generates_dma(self):
+        n = Node(0)
+        n.run_phase(
+            WorkPhase(kind=PhaseKind.IO_WAIT, seconds=1.0, dma_read_bytes=3200.0)
+        )
+        assert n.monitor.banks[Mode.USER].read("dma_read") == int(
+            3200.0 / DMA_TRANSFER_BYTES
+        )
+
+    def test_idle_accrues_system_background(self):
+        n = Node(0)
+        n.run_phase(WorkPhase(kind=PhaseKind.IDLE, seconds=100.0))
+        sys_bank = n.monitor.banks[Mode.SYSTEM]
+        assert sys_bank.read("fxu0") > 0
+        assert sys_bank.read("cycles") > 0
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            Node(0).run_phase(WorkPhase(kind=PhaseKind.IDLE, seconds=-1.0))
+
+    def test_paging_stretches_compute_and_inflates_system_fxu(self):
+        """§6's signature: oversubscribed nodes show system-mode FXU
+        counts rivaling user-mode, and wall time stretches."""
+        healthy, paging = Node(0), Node(1)
+        paging.assign_memory(1.6 * POWER2_590.memory_bytes)
+        ex = execution()
+        t_healthy = healthy.run_phase(
+            WorkPhase(kind=PhaseKind.COMPUTE, execution=ex)
+        ).wall_seconds
+        res = paging.run_phase(WorkPhase(kind=PhaseKind.COMPUTE, execution=ex))
+        assert res.wall_seconds > 5 * t_healthy
+        assert res.page_faults > 0
+        sys_fxu = paging.monitor.banks[Mode.SYSTEM].read("fxu0")
+        usr_fxu = paging.monitor.banks[Mode.USER].read("fxu0")
+        # Per unit wall time, system work dominates on a thrashing node.
+        assert sys_fxu > 0.5 * usr_fxu
+
+    def test_paging_generates_dma_page_traffic(self):
+        n = Node(0)
+        n.assign_memory(1.6 * POWER2_590.memory_bytes)
+        n.run_phase(WorkPhase(kind=PhaseKind.COMPUTE, execution=execution()))
+        assert n.monitor.banks[Mode.USER].read("dma_write") > 0
+
+    def test_utilization_tracks_busy_fraction(self):
+        n = Node(0)
+        n.run_phase(WorkPhase(kind=PhaseKind.COMPUTE, execution=execution()))
+        n.run_phase(WorkPhase(kind=PhaseKind.IDLE, seconds=n.busy_seconds))
+        assert n.utilization() == pytest.approx(0.5)
+
+
+class TestRateFastPath:
+    def test_sync_integrates_rates(self):
+        n = Node(0)
+        n.install_rates(0.0, rates_vector({"fpu0": 1e6}), busy=True)
+        n.sync(10.0)
+        assert n.monitor.banks[Mode.USER].read("fpu0") == 10_000_000
+
+    def test_sync_without_rates_accrues_background(self):
+        n = Node(0)
+        n.sync(50.0)
+        assert n.monitor.banks[Mode.SYSTEM].read("fxu0") > 0
+        assert n.monitor.banks[Mode.USER].read("fxu0") == 0
+
+    def test_sync_is_idempotent_at_same_time(self):
+        n = Node(0)
+        n.install_rates(0.0, rates_vector({"fpu0": 1e6}))
+        n.sync(5.0)
+        before = n.monitor.banks[Mode.USER].read("fpu0")
+        n.sync(5.0)
+        assert n.monitor.banks[Mode.USER].read("fpu0") == before
+
+    def test_sync_backwards_rejected(self):
+        n = Node(0)
+        n.sync(10.0)
+        with pytest.raises(ValueError):
+            n.sync(5.0)
+
+    def test_install_rates_syncs_previous_regime(self):
+        n = Node(0)
+        n.install_rates(0.0, rates_vector({"fpu0": 2e6}), busy=True)
+        n.install_rates(10.0, rates_vector({"fpu0": 0.0}))  # job ended at t=10
+        n.sync(20.0)
+        assert n.monitor.banks[Mode.USER].read("fpu0") == 20_000_000
+
+    def test_busy_seconds_follow_rate_regime(self):
+        n = Node(0)
+        n.install_rates(0.0, rates_vector({"fpu0": 1.0}), busy=True)
+        n.sync(30.0)
+        n.install_rates(30.0)  # idle
+        n.sync(60.0)
+        assert n.busy_seconds == pytest.approx(30.0)
+        assert n.utilization() == pytest.approx(0.5)
+
+    def test_snapshot_flat_labels(self):
+        snap = Node(0).snapshot()
+        assert "user.fxu0" in snap and "system.cycles" in snap

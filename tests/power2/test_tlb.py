@@ -1,0 +1,81 @@
+"""Reference TLB simulator."""
+
+import numpy as np
+import pytest
+
+from repro.power2.config import POWER2_590, TLBGeometry
+from repro.power2.tlb import TLB
+
+
+class TestBasics:
+    def test_first_touch_misses_then_hits(self):
+        t = TLB()
+        assert t.access(0) is False
+        assert t.access(4095) is True  # same page
+        assert t.access(4096) is False  # next page
+
+    def test_stats(self):
+        t = TLB()
+        for a in (0, 100, 5000, 0):
+            t.access(a)
+        assert t.stats.accesses == 4
+        assert t.stats.hits + t.stats.misses == 4
+
+    def test_flush_invalidates(self):
+        t = TLB()
+        t.access(0)
+        t.flush()
+        assert t.access(0) is False
+
+    def test_reset_stats(self):
+        t = TLB()
+        t.access(0)
+        t.reset_stats()
+        assert t.stats.accesses == 0
+
+
+class TestCapacity:
+    def test_512_pages_fit(self):
+        """§2: 512 TLB entries — a 2 MB working set translates without
+        misses after the first touch."""
+        t = TLB()
+        pages = np.arange(512) * 4096
+        for p in pages:
+            t.access(int(p))
+        t.reset_stats()
+        for p in pages:
+            assert t.access(int(p)) is True
+
+    def test_working_set_beyond_capacity_thrashes(self):
+        t = TLB(TLBGeometry(entries=8, associativity=2))
+        pages = np.arange(64) * 4096
+        for _ in range(3):
+            for p in pages:
+                t.access(int(p))
+        # Far more pages than entries: virtually everything misses.
+        assert t.stats.miss_ratio > 0.9
+
+
+class TestPaperAnchors:
+    def test_sequential_miss_every_512_elements(self):
+        """§5: 'a TLB miss every 512 elements' for real*8 on 4 kB pages."""
+        assert TLB.sequential_miss_ratio(POWER2_590.tlb) == pytest.approx(1.0 / 512.0)
+
+    def test_sequential_simulation_matches_analytic(self):
+        t = TLB()
+        stats = t.run(np.arange(0, 512 * 4096, 8))
+        assert stats.miss_ratio == pytest.approx(1.0 / 512.0, rel=0.01)
+
+    def test_large_stride_raises_miss_rate(self):
+        """§5: 'We might expect high TLB miss rates from programs
+        accessing data with large memory strides.'"""
+        small = TLB.strided_miss_ratio(POWER2_590.tlb, 8)
+        large = TLB.strided_miss_ratio(POWER2_590.tlb, 2048)
+        assert large > 100 * small
+
+    def test_page_stride_saturates(self):
+        assert TLB.strided_miss_ratio(POWER2_590.tlb, 4096) == 1.0
+
+    def test_nonpositive_stride_rejected(self):
+        with pytest.raises(ValueError):
+            TLB.strided_miss_ratio(POWER2_590.tlb, -8)

@@ -1,0 +1,115 @@
+"""Property tests: cache and TLB invariants under random access streams."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power2.config import CacheGeometry, TLBGeometry
+from repro.power2.dcache import SetAssociativeCache
+from repro.power2.tlb import TLB
+
+geometries = st.sampled_from(
+    [
+        CacheGeometry(total_bytes=1024, line_bytes=64, associativity=1),
+        CacheGeometry(total_bytes=2048, line_bytes=64, associativity=2),
+        CacheGeometry(total_bytes=4096, line_bytes=128, associativity=4),
+    ]
+)
+
+streams = st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=300)
+write_flags = st.lists(st.booleans(), min_size=1, max_size=300)
+
+
+class TestCacheInvariants:
+    @given(geometries, streams)
+    @settings(max_examples=60, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, geom, addrs):
+        c = SetAssociativeCache(geom)
+        c.run(np.array(addrs))
+        c.stats.check()
+        assert c.stats.accesses == len(addrs)
+
+    @given(geometries, streams)
+    @settings(max_examples=40, deadline=None)
+    def test_repeat_of_last_access_always_hits(self, geom, addrs):
+        c = SetAssociativeCache(geom)
+        c.run(np.array(addrs))
+        assert c.access(addrs[-1]) is True
+
+    @given(geometries, streams, write_flags)
+    @settings(max_examples=40, deadline=None)
+    def test_writebacks_never_exceed_misses(self, geom, addrs, flags):
+        c = SetAssociativeCache(geom)
+        n = min(len(addrs), len(flags))
+        c.run(np.array(addrs[:n]), writes=np.array(flags[:n]))
+        assert c.stats.writebacks <= c.stats.misses
+
+    @given(geometries, streams)
+    @settings(max_examples=30, deadline=None)
+    def test_miss_count_at_least_distinct_lines_touched_cold(self, geom, addrs):
+        """A cold cache must miss at least once per distinct line (and at
+        most once per access)."""
+        c = SetAssociativeCache(geom)
+        c.run(np.array(addrs))
+        shift = int(geom.line_bytes).bit_length() - 1
+        distinct = len({a >> shift for a in addrs})
+        assert distinct <= c.stats.misses <= len(addrs)
+
+    @given(streams)
+    @settings(max_examples=30, deadline=None)
+    def test_direct_mapped_matches_reference_model(self, addrs):
+        """Direct-mapped cache against a trivial dict reference."""
+        geom = CacheGeometry(total_bytes=512, line_bytes=64, associativity=1)
+        c = SetAssociativeCache(geom)
+        ref: dict[int, int] = {}
+        for a in addrs:
+            line = a >> 6
+            s = line % geom.n_sets
+            expect_hit = ref.get(s) == line
+            assert c.access(a) is expect_hit
+            ref[s] = line
+
+    @given(streams)
+    @settings(max_examples=30, deadline=None)
+    def test_lru_matches_reference_model(self, addrs):
+        """2-way LRU against an ordered-list reference."""
+        geom = CacheGeometry(total_bytes=1024, line_bytes=64, associativity=2)
+        c = SetAssociativeCache(geom)
+        ref: dict[int, list[int]] = {}
+        for a in addrs:
+            line = a >> 6
+            s = line % geom.n_sets
+            ways = ref.setdefault(s, [])
+            expect_hit = line in ways
+            assert c.access(a) is expect_hit
+            if expect_hit:
+                ways.remove(line)
+            elif len(ways) == 2:
+                ways.pop(0)  # evict LRU
+            ways.append(line)
+
+
+class TestTLBInvariants:
+    @given(streams)
+    @settings(max_examples=40, deadline=None)
+    def test_hits_plus_misses(self, addrs):
+        t = TLB(TLBGeometry(entries=16, associativity=2))
+        t.run(np.array(addrs))
+        assert t.stats.hits + t.stats.misses == t.stats.accesses == len(addrs)
+
+    @given(streams)
+    @settings(max_examples=40, deadline=None)
+    def test_flush_forces_miss(self, addrs):
+        t = TLB(TLBGeometry(entries=16, associativity=2))
+        t.run(np.array(addrs))
+        t.flush()
+        assert t.access(addrs[0]) is False
+
+    @given(streams)
+    @settings(max_examples=30, deadline=None)
+    def test_cold_misses_equal_distinct_pages_when_capacity_suffices(self, addrs):
+        """The 1 MB address space spans ≤256 pages — under the 512-entry
+        capacity, so a cold TLB misses exactly once per distinct page."""
+        t = TLB(TLBGeometry(entries=512, associativity=2))
+        t.run(np.array(addrs))
+        assert t.stats.misses == len({a >> 12 for a in addrs})

@@ -1,0 +1,69 @@
+"""Property tests: domain decomposition invariants (§4's machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.decomposition import Decomposition, factor3
+
+shapes = st.tuples(
+    st.integers(min_value=8, max_value=96),
+    st.integers(min_value=8, max_value=96),
+    st.integers(min_value=8, max_value=96),
+)
+rank_counts = st.sampled_from([1, 2, 4, 6, 8, 12, 16, 27, 28, 32, 49, 64])
+
+
+class TestFactor3Properties:
+    @given(st.integers(min_value=1, max_value=512))
+    @settings(max_examples=120, deadline=None)
+    def test_product_invariant(self, p):
+        a, b, c = factor3(p)
+        assert a * b * c == p
+        assert min(a, b, c) >= 1
+
+
+class TestDecompositionProperties:
+    @given(shapes, rank_counts)
+    @settings(max_examples=60, deadline=None)
+    def test_exact_cover(self, shape, ranks):
+        d = Decomposition(shape, ranks)
+        d.check()  # raises on any gap/overlap
+
+    @given(shapes, rank_counts)
+    @settings(max_examples=60, deadline=None)
+    def test_rank_coords_bijective(self, shape, ranks):
+        d = Decomposition(shape, ranks)
+        seen = set()
+        for r in range(ranks):
+            c = d.coords_of(r)
+            assert d.rank_of(c) == r
+            seen.add(c)
+        assert len(seen) == ranks
+
+    @given(shapes, rank_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_neighbor_symmetry(self, shape, ranks):
+        d = Decomposition(shape, ranks)
+        for r in range(ranks):
+            for label, nb in d.neighbors(r).items():
+                flipped = label[0] + ("-" if label[1] == "+" else "+")
+                assert d.neighbors(nb)[flipped] == r
+
+    @given(shapes, rank_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_balance_bounded(self, shape, ranks):
+        """Block distribution: max/mean subdomain ratio stays below 2
+        whenever every axis has at least as many planes as processors."""
+        d = Decomposition(shape, ranks)
+        assert 1.0 <= d.balance() < 2.0
+
+    @given(shapes, rank_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_halo_bytes_nonnegative_and_boundary_smaller(self, shape, ranks):
+        d = Decomposition(shape, ranks)
+        halos = [d.halo_bytes(r, variables=5) for r in range(ranks)]
+        assert all(h >= 0 for h in halos)
+        if ranks > 1:
+            assert max(halos) > 0

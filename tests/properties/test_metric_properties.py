@@ -1,0 +1,111 @@
+"""Property tests: stats identities and derived-metric invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.hpm.derived import workload_rates
+from repro.util.stats import moving_average, time_weighted_mean
+
+series = arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=80),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+
+count_values = st.floats(min_value=0, max_value=1e13, allow_nan=False)
+
+delta_dicts = st.fixed_dictionaries(
+    {},
+    optional={
+        f"user.{name}": count_values
+        for name in (
+            "fpu0",
+            "fpu1",
+            "fpu0_fp_add",
+            "fpu1_fp_add",
+            "fpu0_fp_mul",
+            "fpu1_fp_mul",
+            "fpu0_fp_muladd",
+            "fpu1_fp_muladd",
+            "fxu0",
+            "fxu1",
+            "icu0",
+            "icu1",
+            "dcache_mis",
+            "tlb_mis",
+            "icache_reload",
+            "dma_read",
+            "dma_write",
+            "cycles",
+        )
+    }
+    | {"system.fxu0": count_values, "system.fxu1": count_values, "system.cycles": count_values},
+)
+
+
+class TestStatsProperties:
+    @given(series, st.integers(1, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_moving_average_bounded_by_series(self, x, w):
+        out = moving_average(x, w)
+        # cumsum-based implementation: allow magnitude-scaled float slop.
+        tol = 1e-8 * (1.0 + np.abs(x).sum())
+        assert out.min() >= x.min() - tol
+        assert out.max() <= x.max() + tol
+
+    @given(series)
+    @settings(max_examples=40, deadline=None)
+    def test_window_one_is_identity(self, x):
+        tol = 1e-8 * (1.0 + np.abs(x).sum())
+        np.testing.assert_allclose(moving_average(x, 1), x, atol=tol, rtol=1e-7)
+
+    @given(series)
+    @settings(max_examples=40, deadline=None)
+    def test_huge_window_converges_to_prefix_means(self, x):
+        out = moving_average(x, len(x) + 10)
+        expected = np.cumsum(x) / np.arange(1, len(x) + 1)
+        np.testing.assert_allclose(out, expected, rtol=1e-8, atol=1e-6)
+
+    @given(series)
+    @settings(max_examples=40, deadline=None)
+    def test_time_weighted_mean_bounded(self, x):
+        w = np.abs(x) + 1.0
+        m = time_weighted_mean(x, w)
+        assert x.min() - 1e-9 <= m <= x.max() + 1e-9
+
+
+class TestDerivedProperties:
+    @given(delta_dicts, st.floats(0.1, 1e6), st.integers(1, 144))
+    @settings(max_examples=100, deadline=None)
+    def test_rates_nonnegative_and_consistent(self, deltas, seconds, nodes):
+        r = workload_rates(deltas, seconds, nodes)
+        assert r.mflops_total >= 0
+        assert r.mips_total >= 0
+        # Flop rows always sum to the total.
+        assert r.mflops_add + r.mflops_mul + r.mflops_div + r.mflops_fma == pytest.approx(
+            r.mflops_total
+        )
+        # Mops counts the fma's second op exactly once.
+        assert r.mops_total == pytest.approx(r.mips_total + r.mflops_fma)
+        # Fractions bounded.
+        assert 0.0 <= r.fma_flop_fraction <= 1.0 + 1e-9
+        assert 0.0 <= r.branch_fraction <= 1.0 + 1e-9
+        assert 0.0 <= r.user_cycle_fraction <= 1.0 + 1e-9
+
+    @given(delta_dicts, st.floats(0.1, 1e5), st.integers(1, 144))
+    @settings(max_examples=60, deadline=None)
+    def test_rate_scaling_linear_in_time_and_nodes(self, deltas, seconds, nodes):
+        a = workload_rates(deltas, seconds, nodes)
+        b = workload_rates(deltas, 2 * seconds, nodes)
+        assert b.mflops_total == pytest.approx(a.mflops_total / 2)
+        c = workload_rates(deltas, seconds, 2 * nodes)
+        assert c.mips_total == pytest.approx(a.mips_total / 2)
+
+    @given(delta_dicts)
+    @settings(max_examples=60, deadline=None)
+    def test_gflops_system_scales_with_nodes(self, deltas):
+        r = workload_rates(deltas, 100.0, 4)
+        assert r.gflops_system(144) == pytest.approx(36 * r.gflops_system(4))

@@ -1,0 +1,89 @@
+"""Property tests: cycle-model monotonicity and conservation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power2.config import POWER2_590
+from repro.power2.isa import InstructionMix
+from repro.power2.pipeline import CycleModel, DependencyProfile, MemoryBehaviour
+
+mixes = st.builds(
+    InstructionMix,
+    fp_add=st.floats(0, 1e6),
+    fp_mul=st.floats(0, 1e6),
+    fp_div=st.floats(0, 1e4),
+    fp_fma=st.floats(0, 1e6),
+    fp_misc=st.floats(0, 1e5),
+    loads=st.floats(0, 1e6),
+    stores=st.floats(0, 1e6),
+    quad_loads=st.floats(0, 1e5),
+    int_ops=st.floats(0, 1e5),
+    branches=st.floats(0, 1e5),
+)
+
+behaviours = st.builds(
+    MemoryBehaviour,
+    dcache_miss_ratio=st.floats(0, 0.3),
+    tlb_miss_ratio=st.floats(0, 0.05),
+    icache_miss_ratio=st.floats(0, 0.01),
+    writeback_fraction=st.floats(0, 1.0),
+)
+
+profiles = st.builds(
+    DependencyProfile,
+    ilp=st.floats(0.0, 1.0),
+    load_use_fraction=st.floats(0.0, 1.0),
+)
+
+
+class TestCycleModelProperties:
+    @given(mixes, behaviours, profiles)
+    @settings(max_examples=100, deadline=None)
+    def test_cycles_nonnegative_and_decomposed(self, mix, mem, deps):
+        r = CycleModel().execute(mix, mem, deps)
+        assert r.cycles >= 0
+        assert r.cycles == pytest.approx(
+            r.issue_cycles + r.dependency_stall_cycles + r.memory_stall_cycles
+        )
+
+    @given(mixes, behaviours, profiles)
+    @settings(max_examples=100, deadline=None)
+    def test_never_exceeds_peak(self, mix, mem, deps):
+        r = CycleModel().execute(mix, mem, deps)
+        if r.cycles > 0:
+            assert r.flops_per_cycle <= POWER2_590.peak_flops_per_cycle + 1e-9
+
+    @given(mixes, behaviours, profiles, st.floats(1.1, 10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_linear_in_work(self, mix, mem, deps, factor):
+        """Twice the work takes exactly twice the cycles (steady model)."""
+        model = CycleModel()
+        r1 = model.execute(mix, mem, deps)
+        r2 = model.execute(mix.scaled(factor), mem, deps)
+        assert r2.cycles == pytest.approx(factor * r1.cycles, rel=1e-9)
+
+    @given(mixes, profiles, st.floats(0, 0.1), st.floats(0.11, 0.3))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_miss_ratio(self, mix, deps, low, high):
+        model = CycleModel()
+        r_low = model.execute(mix, MemoryBehaviour(dcache_miss_ratio=low), deps)
+        r_high = model.execute(mix, MemoryBehaviour(dcache_miss_ratio=high), deps)
+        assert r_high.cycles >= r_low.cycles - 1e-9
+
+    @given(mixes, behaviours, st.floats(0.0, 0.45), st.floats(0.55, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_ilp(self, mix, mem, low_ilp, high_ilp):
+        model = CycleModel()
+        lu = 0.2
+        slow = model.execute(mix, mem, DependencyProfile(ilp=low_ilp, load_use_fraction=lu))
+        fast = model.execute(mix, mem, DependencyProfile(ilp=high_ilp, load_use_fraction=lu))
+        assert fast.cycles <= slow.cycles + 1e-9
+
+    @given(mixes, behaviours, profiles)
+    @settings(max_examples=60, deadline=None)
+    def test_miss_events_proportional(self, mix, mem, deps):
+        r = CycleModel().execute(mix, mem, deps)
+        assert r.dcache_misses == pytest.approx(mix.memory_insts * mem.dcache_miss_ratio)
+        assert r.tlb_misses == pytest.approx(mix.memory_insts * mem.tlb_miss_ratio)
+        assert r.dcache_writebacks <= r.dcache_misses + 1e-9

@@ -1,0 +1,115 @@
+"""Property tests: PBS never oversubscribes, conserves jobs, keeps time."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.machine import SP2Machine
+from repro.pbs.scheduler import PBSServer
+from repro.power2.counters import rates_vector
+from repro.sim.engine import Simulator
+
+
+class Profile:
+    def __init__(self, walltime: float, memory: float = 64e6):
+        self.walltime_seconds = walltime
+        self.memory_bytes_per_node = memory
+        self.user_rates = rates_vector({"fpu0_fp_add": 1e6, "cycles": 1e7})
+        self.system_rates = rates_vector({"fxu0": 1e5})
+        self.mflops_per_node = 1.0
+
+
+job_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=32),     # nodes
+        st.floats(min_value=1.0, max_value=5000.0), # walltime
+        st.floats(min_value=0.0, max_value=4000.0), # submit delay
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestSchedulerProperties:
+    @given(job_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_never_oversubscribes_and_all_jobs_finish(self, jobs):
+        sim = Simulator()
+        machine = SP2Machine(32)
+        server = PBSServer(sim, machine)
+
+        # Instrument: check free-node invariant at every job end.
+        def check(record):
+            assert machine.n_free >= 0
+            assert len(machine.busy_node_ids()) + machine.n_free == 32
+
+        server.on_job_end = check
+        t = 0.0
+        for nodes, wall, delay in jobs:
+            t += delay
+            sim.schedule_at(
+                t,
+                lambda s, n=nodes, w=wall: server.submit(0, "app", n, Profile(w)),
+            )
+        sim.run()
+        assert len(server.accounting) == len(jobs)
+        assert server.n_running == 0
+        assert machine.n_free == 32
+
+    @given(job_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_jobs_never_start_before_submission(self, jobs):
+        sim = Simulator()
+        server = PBSServer(sim, SP2Machine(32))
+        t = 0.0
+        for nodes, wall, delay in jobs:
+            t += delay
+            sim.schedule_at(
+                t, lambda s, n=nodes, w=wall: server.submit(0, "app", n, Profile(w))
+            )
+        sim.run()
+        for rec in server.accounting.records:
+            assert rec.start_time >= rec.submit_time - 1e-9
+            assert rec.end_time >= rec.start_time
+
+    @given(job_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_walltimes_honoured(self, jobs):
+        sim = Simulator()
+        server = PBSServer(sim, SP2Machine(32))
+        expected = {}
+        t = 0.0
+        for i, (nodes, wall, delay) in enumerate(jobs):
+            t += delay
+            expected[i + 1] = wall  # job ids are 1-based and submission-ordered
+
+            def submit(s, n=nodes, w=wall):
+                server.submit(0, "app", n, Profile(w))
+
+            sim.schedule_at(t, submit)
+        sim.run()
+        # Job ids are assigned at submit time; map by id order of submit
+        # events (submissions at equal times keep FIFO order).
+        for rec in server.accounting.records:
+            assert rec.walltime_seconds == _close(expected[rec.job_id])
+
+    @given(job_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_memory_fully_released(self, jobs):
+        sim = Simulator()
+        machine = SP2Machine(32)
+        server = PBSServer(sim, machine)
+        t = 0.0
+        for nodes, wall, delay in jobs:
+            t += delay
+            sim.schedule_at(
+                t, lambda s, n=nodes, w=wall: server.submit(0, "app", n, Profile(w))
+            )
+        sim.run()
+        assert all(node.memory_used == 0.0 for node in machine.nodes)
+
+
+def _close(expected: float):
+    import pytest
+
+    return pytest.approx(expected, rel=1e-9, abs=1e-6)

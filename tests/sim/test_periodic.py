@@ -1,0 +1,62 @@
+"""Periodic tasks (the 15-minute cron sampler's engine)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.periodic import PeriodicTask
+
+
+class TestPeriodicTask:
+    def test_fires_every_period(self):
+        sim = Simulator()
+        times = []
+        PeriodicTask(sim, 10.0, lambda s: times.append(s.now))
+        sim.run(until=35.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_custom_start(self):
+        sim = Simulator()
+        times = []
+        PeriodicTask(sim, 10.0, lambda s: times.append(s.now), start=5.0)
+        sim.run(until=26.0)
+        assert times == [5.0, 15.0, 25.0]
+
+    def test_stop_halts_firing(self):
+        sim = Simulator()
+        task_box = {}
+        times = []
+
+        def cb(s):
+            times.append(s.now)
+            if len(times) == 2:
+                task_box["t"].stop()
+
+        task_box["t"] = PeriodicTask(sim, 1.0, cb)
+        sim.run(until=10.0)
+        assert times == [1.0, 2.0]
+
+    def test_stop_before_first_fire(self):
+        sim = Simulator()
+        fired = []
+        task = PeriodicTask(sim, 1.0, lambda s: fired.append(s.now))
+        task.stop()
+        sim.run(until=5.0)
+        assert fired == []
+
+    def test_fired_counter(self):
+        sim = Simulator()
+        task = PeriodicTask(sim, 2.0, lambda s: None)
+        sim.run(until=9.0)
+        assert task.fired == 4
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicTask(Simulator(), 0.0, lambda s: None)
+
+    def test_cadence_matches_cron_boundaries(self):
+        """96 samples per simulated day at the paper's 15-min interval."""
+        sim = Simulator()
+        count = [0]
+        PeriodicTask(sim, 900.0, lambda s: count.__setitem__(0, count[0] + 1))
+        sim.run(until=86400.0)
+        assert count[0] == 96

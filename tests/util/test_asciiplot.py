@@ -1,0 +1,80 @@
+"""ASCII figure rendering: structure, bounds, degenerate inputs."""
+
+import numpy as np
+import pytest
+
+from repro.util.asciiplot import ascii_histogram, ascii_scatter, ascii_series
+
+
+class TestSeries:
+    def test_contains_title_and_axis_labels(self):
+        out = ascii_series([1.0, 2.0, 3.0], title="perf")
+        assert out.startswith("perf")
+        assert "3" in out  # max label
+
+    def test_empty_series(self):
+        assert "empty" in ascii_series([], title="t")
+
+    def test_constant_series_renders(self):
+        out = ascii_series(np.ones(50))
+        assert "*" in out
+
+    def test_height_respected(self):
+        out = ascii_series(np.arange(100, dtype=float), height=10, title="")
+        # 10 plot rows + x-axis line.
+        assert len(out.splitlines()) == 11
+
+    def test_width_downsamples(self):
+        out = ascii_series(np.arange(1000, dtype=float), width=40)
+        # No plot line longer than the frame allows.
+        assert max(len(ln) for ln in out.splitlines()) <= 40 + 13
+
+    def test_explicit_bounds(self):
+        out = ascii_series([5.0, 6.0], ymin=0.0, ymax=10.0)
+        assert "10" in out and "0" in out
+
+
+class TestHistogram:
+    def test_bars_proportional(self):
+        out = ascii_histogram(["a", "b"], [2.0, 4.0], width=10)
+        lines = out.splitlines()
+        a_bar = lines[0].count("#")
+        b_bar = lines[1].count("#")
+        assert b_bar == 10 and a_bar == 5
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ascii_histogram(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert "empty" in ascii_histogram([], [], title="t")
+
+    def test_all_zero_counts(self):
+        out = ascii_histogram(["a"], [0.0])
+        assert "a" in out  # no division by zero
+
+    def test_labels_aligned(self):
+        out = ascii_histogram([1, 128], [1.0, 2.0])
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+
+class TestScatter:
+    def test_marker_present(self):
+        out = ascii_scatter([1.0, 2.0], [1.0, 4.0])
+        assert "o" in out
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([1.0], [1.0, 2.0])
+
+    def test_empty(self):
+        assert "empty" in ascii_scatter([], [], title="t")
+
+    def test_single_point(self):
+        out = ascii_scatter([3.0], [7.0])
+        assert "o" in out
+
+    def test_axis_bounds_in_output(self):
+        out = ascii_scatter([0.0, 5.0], [0.0, 25.0])
+        assert "25" in out

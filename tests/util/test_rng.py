@@ -1,0 +1,69 @@
+"""Deterministic random-stream management."""
+
+import numpy as np
+
+from repro.util.rng import RngStreams, _stable_hash
+
+
+class TestStreamIdentity:
+    def test_same_name_returns_same_generator(self):
+        s = RngStreams(1)
+        assert s.get("a") is s.get("a")
+
+    def test_different_names_are_independent_objects(self):
+        s = RngStreams(1)
+        assert s.get("a") is not s.get("b")
+
+    def test_spawn_indexing(self):
+        s = RngStreams(1)
+        assert s.spawn("job", 3) is s.get("job#3")
+        assert s.spawn("job", 3) is not s.spawn("job", 4)
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = RngStreams(42).get("x").random(8)
+        b = RngStreams(42).get("x").random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_different_sequence(self):
+        a = RngStreams(42).get("x").random(8)
+        b = RngStreams(43).get("x").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_creation_order_does_not_matter(self):
+        s1 = RngStreams(7)
+        s1.get("first").random(100)  # consume a lot from another stream
+        a = s1.get("second").random(4)
+
+        s2 = RngStreams(7)
+        b = s2.get("second").random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_streams_do_not_alias(self):
+        s = RngStreams(0)
+        a = s.get("alpha").random(16)
+        b = s.get("beta").random(16)
+        assert not np.array_equal(a, b)
+
+
+class TestStableHash:
+    def test_stable_across_calls(self):
+        assert _stable_hash("workload.mix") == _stable_hash("workload.mix")
+
+    def test_distinct_names_distinct_hashes(self):
+        names = [f"stream-{i}" for i in range(500)]
+        hashes = {_stable_hash(n) for n in names}
+        assert len(hashes) == len(names)
+
+    def test_hash_fits_in_63_bits(self):
+        for name in ("", "a", "x" * 1000):
+            assert 0 <= _stable_hash(name) < 2**63
+
+
+class TestNames:
+    def test_names_reflect_created_streams(self):
+        s = RngStreams(5)
+        s.get("b")
+        s.get("a")
+        assert s.names() == ["a", "b"]

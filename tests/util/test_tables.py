@@ -1,0 +1,61 @@
+"""Table construction and rendering."""
+
+import pytest
+
+from repro.util.tables import Table
+
+
+def make_table() -> Table:
+    t = Table(title="T", columns=("Rates", "Avg", "Std"))
+    t.add_row("Mips", 45.7, 10.5)
+    t.add_row("Mflops", 17.4, 3.8)
+    return t
+
+
+class TestConstruction:
+    def test_add_row_checks_width(self):
+        t = make_table()
+        with pytest.raises(ValueError):
+            t.add_row("too", "few")
+
+    def test_column_extraction(self):
+        t = make_table()
+        assert t.column("Rates") == ["Mips", "Mflops"]
+        assert t.column("Avg") == [45.7, 17.4]
+
+    def test_column_skips_section_rows(self):
+        t = make_table()
+        t.add_section("CACHE")
+        t.add_row("TLB", 0.04, 0.01)
+        assert t.column("Rates") == ["Mips", "Mflops", "TLB"]
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ValueError):
+            make_table().column("Nope")
+
+    def test_as_dict(self):
+        d = make_table().as_dict()
+        assert set(d) == {"Rates", "Avg", "Std"}
+
+
+class TestRendering:
+    def test_render_contains_title_headers_and_cells(self):
+        out = make_table().render()
+        for text in ("T", "Rates", "Avg", "Std", "Mips", "45.7", "17.4"):
+            assert text in out
+
+    def test_render_aligns_columns(self):
+        lines = make_table().render().splitlines()
+        widths = {len(ln) for ln in lines[1:]}  # all box lines equal width
+        assert len(widths) == 1
+
+    def test_float_formatting(self):
+        t = Table(title="x", columns=("a",), float_fmt="{:.1f}")
+        t.add_row(3.14159)
+        assert "3.1" in t.render()
+
+    def test_int_and_str_cells(self):
+        t = Table(title="x", columns=("a", "b"))
+        t.add_row(16, "nodes")
+        out = t.render()
+        assert "16" in out and "nodes" in out

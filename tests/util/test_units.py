@@ -1,0 +1,47 @@
+"""Unit helpers: conversions and degenerate inputs."""
+
+import pytest
+
+from repro.util.units import (
+    GIGA,
+    MEGA,
+    WORD_BYTES,
+    bytes_per_word,
+    gflops,
+    mflops,
+    per_second_to_mega,
+)
+
+
+class TestRates:
+    def test_mflops_basic(self):
+        assert mflops(2_000_000, 1.0) == pytest.approx(2.0)
+
+    def test_mflops_scales_with_time(self):
+        assert mflops(1_000_000, 2.0) == pytest.approx(0.5)
+
+    def test_gflops_basic(self):
+        assert gflops(3 * GIGA, 1.0) == pytest.approx(3.0)
+
+    def test_gflops_is_thousandth_of_mflops(self):
+        flops, secs = 123_456_789, 3.7
+        assert gflops(flops, secs) == pytest.approx(mflops(flops, secs) / 1e3)
+
+    def test_zero_seconds_yields_zero_not_inf(self):
+        assert mflops(1e9, 0.0) == 0.0
+        assert gflops(1e9, 0.0) == 0.0
+        assert per_second_to_mega(1e9, 0.0) == 0.0
+
+    def test_negative_seconds_yields_zero(self):
+        assert mflops(1e9, -1.0) == 0.0
+
+    def test_per_second_to_mega(self):
+        assert per_second_to_mega(5 * MEGA, 1.0) == pytest.approx(5.0)
+
+
+class TestWords:
+    def test_word_is_8_bytes(self):
+        assert WORD_BYTES == 8
+
+    def test_bytes_per_word(self):
+        assert bytes_per_word(4) == 32.0  # one 4-word DMA transfer

@@ -1,0 +1,107 @@
+"""Application catalog: distributions and §4–§6 characteristics."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngStreams
+from repro.workload.apps import APPLICATIONS, application, popularity_weights
+
+MB = 1024 * 1024
+
+
+def rng():
+    return RngStreams(123).get("test.apps")
+
+
+class TestCatalog:
+    def test_lookup(self):
+        assert application("multiblock_cfd").name == "multiblock_cfd"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            application("nope")
+
+    def test_popularity_weights_normalized(self):
+        names, w = popularity_weights()
+        assert len(names) == len(APPLICATIONS)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_multiblock_is_most_popular(self):
+        """§4: multiblock aerodynamics codes are the workload majority."""
+        top = max(APPLICATIONS.values(), key=lambda a: a.popularity)
+        assert top.name == "multiblock_cfd"
+
+    def test_every_app_instantiates(self):
+        r = rng()
+        for app in APPLICATIONS.values():
+            p = app.instantiate(r)
+            assert p.walltime_seconds > 0
+            assert p.nodes in app.node_choices
+
+
+class TestNodeDistributions:
+    def test_sample_nodes_within_choices(self):
+        r = rng()
+        app = application("multiblock_cfd")
+        for _ in range(50):
+            assert app.sample_nodes(r) in app.node_choices
+
+    def test_wide_paging_jobs_are_wide(self):
+        """§6: the paging jobs request more than 64 nodes."""
+        assert min(application("wide_paging").node_choices) > 64
+
+    def test_navier_stokes_peaks_at_28(self):
+        app = application("navier_stokes_async")
+        idx = int(np.argmax(app.node_weights))
+        assert app.node_choices[idx] == 28
+
+    def test_explicit_nodes_override(self):
+        p = application("multiblock_cfd").instantiate(rng(), nodes=4)
+        assert p.nodes == 4
+
+
+class TestJobCharacteristics:
+    def test_wide_paging_oversubscribes_memory(self):
+        """§6: automatic arrays blow past the 128 MB node memory."""
+        p = application("wide_paging").instantiate(rng())
+        assert p.memory_bytes_per_node > 128 * MB
+
+    def test_normal_jobs_fit_in_memory(self):
+        r = rng()
+        for _ in range(20):
+            p = application("multiblock_cfd").instantiate(r)
+            assert p.memory_bytes_per_node <= 128 * MB
+
+    def test_champion_app_fastest_per_node(self):
+        """§6: the asynchronous Navier-Stokes code leads Figure 3."""
+        r = rng()
+        champs = [application("navier_stokes_async").instantiate(r).mflops_per_node for _ in range(10)]
+        bulk = [application("multiblock_cfd").instantiate(r).mflops_per_node for _ in range(10)]
+        assert np.mean(champs) > 1.4 * np.mean(bulk)
+        assert 30.0 <= np.mean(champs) <= 55.0
+
+    def test_benchmark_jobs_below_600s_filter(self):
+        """NPB BT runs are short, so §6's filter removes them."""
+        r = rng()
+        walls = [application("npb_bt_benchmark").instantiate(r).walltime_seconds for _ in range(20)]
+        assert np.median(walls) < 600.0
+
+    def test_matmul_benchmark_is_single_node_and_fast(self):
+        p = application("matmul_benchmark").instantiate(rng())
+        assert p.nodes == 1
+        assert p.mflops_per_node > 150.0
+
+    def test_jitter_creates_spread(self):
+        """Figure 4's ±200 Mflops spread needs per-job variability."""
+        r = rng()
+        rates = [
+            application("multiblock_cfd").instantiate(r, nodes=16).mflops_per_node
+            for _ in range(40)
+        ]
+        assert np.std(rates) > 2.0
+
+    def test_determinism_from_seed(self):
+        a = application("multiblock_cfd").instantiate(RngStreams(9).get("s"))
+        b = application("multiblock_cfd").instantiate(RngStreams(9).get("s"))
+        assert a.mflops_per_node == b.mflops_per_node
+        assert a.nodes == b.nodes

@@ -1,0 +1,82 @@
+"""Domain decomposition: partitioning and neighbour invariants."""
+
+import numpy as np
+import pytest
+
+from repro.workload.decomposition import Decomposition, factor3
+
+
+class TestFactor3:
+    @pytest.mark.parametrize("p,expected_prod", [(1, 1), (8, 8), (16, 16), (28, 28), (49, 49), (144, 144)])
+    def test_product(self, p, expected_prod):
+        a, b, c = factor3(p)
+        assert a * b * c == expected_prod
+
+    def test_cubic_when_possible(self):
+        assert sorted(factor3(8)) == [2, 2, 2]
+        assert sorted(factor3(64)) == [4, 4, 4]
+
+    def test_prime_degenerates_gracefully(self):
+        dims = factor3(7)
+        assert sorted(dims) == [1, 1, 7]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            factor3(0)
+
+
+class TestDecomposition:
+    def test_subdomains_cover_grid(self):
+        for shape, ranks in [((50, 50, 50), 8), ((96, 96, 32), 28), ((51, 47, 53), 16)]:
+            d = Decomposition(shape, ranks)
+            d.check()
+
+    def test_balance_near_one_for_divisible_grid(self):
+        d = Decomposition((64, 64, 64), 8)
+        assert d.balance() == pytest.approx(1.0)
+
+    def test_balance_bounded_for_ragged_grid(self):
+        d = Decomposition((50, 50, 50), 16)
+        assert 1.0 <= d.balance() < 1.3
+
+    def test_rank_coords_roundtrip(self):
+        d = Decomposition((32, 32, 32), 16)
+        for r in range(16):
+            assert d.rank_of(d.coords_of(r)) == r
+
+    def test_neighbors_symmetric(self):
+        d = Decomposition((32, 32, 32), 8)
+        for r in range(8):
+            for label, nb in d.neighbors(r).items():
+                flipped = label[0] + ("-" if label[1] == "+" else "+")
+                assert d.neighbors(nb)[flipped] == r
+
+    def test_interior_rank_has_six_neighbors(self):
+        d = Decomposition((60, 60, 60), 27)  # 3x3x3
+        center = d.rank_of((1, 1, 1))
+        assert len(d.neighbors(center)) == 6
+
+    def test_corner_rank_has_three_neighbors(self):
+        d = Decomposition((60, 60, 60), 27)
+        assert len(d.neighbors(0)) == 3
+
+    def test_halo_bytes_match_paper_scale(self):
+        """§4's typical block: ~50³ points, 25 variables — halos in the
+        hundreds of kilobytes per face."""
+        d = Decomposition((100, 100, 100), 8)  # 50^3 per rank
+        halo = d.halo_bytes(0, variables=25)
+        # 3 faces (corner rank) × 50² × 25 × 8 B = 1.5 MB
+        assert halo == pytest.approx(3 * 50 * 50 * 25 * 8)
+
+    def test_too_many_processors_rejected(self):
+        with pytest.raises(ValueError):
+            Decomposition((4, 4, 4), 125)
+
+    def test_explicit_proc_grid(self):
+        d = Decomposition((96, 96, 32), 28, proc_grid=(7, 2, 2))
+        d.check()
+        assert d.subdomain(0).shape[1] == 48
+
+    def test_bad_proc_grid_rejected(self):
+        with pytest.raises(ValueError):
+            Decomposition((32, 32, 32), 8, proc_grid=(2, 2, 3))

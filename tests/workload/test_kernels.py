@@ -1,0 +1,113 @@
+"""Kernel catalog: mixes, access patterns, paper anchors."""
+
+import pytest
+
+from repro.power2.config import POWER2_590
+from repro.power2.pipeline import CycleModel
+from repro.workload.kernels import KERNELS, AccessPattern, kernel
+
+
+class TestCatalog:
+    def test_lookup(self):
+        assert kernel("cfd_multiblock").name == "cfd_multiblock"
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            kernel("nope")
+
+    def test_all_kernels_produce_valid_mixes(self):
+        for k in KERNELS.values():
+            mix = k.mix_for_flops(1e6)
+            mix.validate()
+            if k.fma_flop_fraction + k.div_flop_fraction < 1.0:
+                assert mix.flops == pytest.approx(1e6, rel=1e-9), k.name
+
+    def test_all_memory_behaviours_valid(self):
+        for k in KERNELS.values():
+            k.memory_behaviour().validate()
+
+
+class TestMixProperties:
+    def test_fma_fraction_respected(self):
+        k = kernel("cfd_multiblock")
+        mix = k.mix_for_flops(1e6)
+        assert 2 * mix.fp_fma / mix.flops == pytest.approx(k.fma_flop_fraction)
+
+    def test_mem_insts_per_flop_respected(self):
+        for name in ("cfd_multiblock", "matmul_blocked"):
+            k = kernel(name)
+            mix = k.mix_for_flops(1e6)
+            assert mix.memory_insts / mix.flops == pytest.approx(
+                k.mem_insts_per_flop
+            ), name
+
+    def test_matmul_register_reuse_is_3(self):
+        """§5: flops per memory instruction = 3.0 for the matmul."""
+        mix = kernel("matmul_blocked").mix_for_flops(1e6)
+        assert mix.flops / mix.memory_insts == pytest.approx(3.0)
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            kernel("cfd_multiblock").mix_for_flops(-1.0)
+
+    def test_zero_flops_gives_empty_mix(self):
+        mix = kernel("cfd_multiblock").mix_for_flops(0.0)
+        assert mix.total_insts == 0.0
+
+    def test_with_override(self):
+        k = kernel("cfd_multiblock").with_(fma_flop_fraction=0.8)
+        assert k.fma_flop_fraction == 0.8
+        assert kernel("cfd_multiblock").fma_flop_fraction != 0.8  # original intact
+
+
+class TestAccessPattern:
+    def test_sequential_no_reuse_matches_table4(self):
+        """Table 4's Sequential Access column: 3% cache, 0.2% TLB."""
+        seq = kernel("sequential_access").access
+        assert seq.dcache_miss_ratio(POWER2_590) == pytest.approx(8 / 256)
+        assert seq.tlb_miss_ratio(POWER2_590) == pytest.approx(8 / 4096)
+
+    def test_reuse_scales_miss_ratio(self):
+        a = AccessPattern(reuse_fraction=0.0)
+        b = AccessPattern(reuse_fraction=0.5)
+        assert b.dcache_miss_ratio() == pytest.approx(0.5 * a.dcache_miss_ratio())
+
+    def test_tlb_locality_factor(self):
+        plain = AccessPattern(reuse_fraction=0.5)
+        blocky = AccessPattern(reuse_fraction=0.5, tlb_locality_factor=2.0)
+        assert blocky.tlb_miss_ratio() == pytest.approx(2 * plain.tlb_miss_ratio())
+        assert blocky.dcache_miss_ratio() == plain.dcache_miss_ratio()
+
+    def test_tlb_ratio_capped_at_one(self):
+        crazy = AccessPattern(reuse_fraction=0.0, stride_bytes=4096, tlb_locality_factor=10.0)
+        assert crazy.tlb_miss_ratio() == 1.0
+
+
+class TestPaperAnchors:
+    """Full-tilt rates through the cycle model (the §5 anchors)."""
+
+    def _mflops(self, name: str) -> float:
+        k = kernel(name)
+        r = CycleModel().execute(k.mix_for_flops(1e6), k.memory_behaviour(), k.deps)
+        return r.mflops
+
+    def test_matmul_anchor(self):
+        assert 200 <= self._mflops("matmul_blocked") <= 267
+
+    def test_npb_bt_anchor(self):
+        assert 38 <= self._mflops("npb_bt") <= 50
+
+    def test_cfd_band(self):
+        assert 22 <= self._mflops("cfd_multiblock") <= 38
+
+    def test_legacy_is_slow(self):
+        assert self._mflops("legacy_vector") < 0.7 * self._mflops("cfd_multiblock")
+
+    def test_nonfp_is_slowest(self):
+        rates = {n: self._mflops(n) for n in KERNELS}
+        assert min(rates, key=rates.get) == "nonfp_preproc"
+
+    def test_tuned_beats_workload(self):
+        """§7: the better-performing codes use fma ≥80% and more
+        registers — they must come out faster."""
+        assert self._mflops("cfd_tuned") > 1.4 * self._mflops("cfd_multiblock")

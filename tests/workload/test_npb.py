@@ -1,0 +1,89 @@
+"""NPB 2.1 suite models."""
+
+import pytest
+
+from repro.workload.npb import NPB_SUITE, npb, suite_report
+
+
+class TestCatalog:
+    def test_lookup(self):
+        assert npb("BT").name == "BT"
+        assert npb("bt", "b").klass == "B"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            npb("ZZ")
+
+    def test_suite_covers_the_npb2_codes(self):
+        names = {spec.name for spec in NPB_SUITE.values()}
+        assert {"BT", "SP", "LU", "MG", "FT", "EP"} <= names
+
+    def test_bt_uses_49_processes(self):
+        """Table 4's BT measurement was on 49 CPUs."""
+        assert npb("BT").processes == 49
+
+
+class TestProfiles:
+    def test_every_entry_builds_a_profile(self):
+        for key, spec in NPB_SUITE.items():
+            p = spec.job_profile()
+            assert p.walltime_seconds > 0, key
+            assert p.mflops_per_node > 0, key
+
+    def test_bt_matches_table4(self):
+        p = npb("BT").job_profile()
+        assert 35.0 <= p.mflops_per_node <= 50.0  # paper: 44
+
+    def test_walltime_consistent_with_rate(self):
+        spec = npb("LU")
+        p = spec.job_profile()
+        flops_per_node = spec.total_gflop * 1e9 / spec.processes
+        assert p.walltime_seconds == pytest.approx(
+            flops_per_node / (p.mflops_per_node * 1e6), rel=1e-6
+        )
+
+    def test_class_b_runs_longer_than_class_a(self):
+        assert npb("BT", "B").job_profile().walltime_seconds > (
+            npb("BT", "A").job_profile().walltime_seconds
+        )
+
+
+class TestSuiteShape:
+    """Qualitative orderings the NPB 2.1 SP2 results showed."""
+
+    def _rates(self):
+        return {r["benchmark"]: r for r in suite_report()}
+
+    def test_bt_beats_sp(self):
+        """BT ran markedly faster than SP on the SP2 (NPB 2.1 report)."""
+        r = self._rates()
+        assert r["BT.A"]["mflops_per_node"] > 1.3 * r["SP.A"]["mflops_per_node"]
+
+    def test_ep_is_compute_pure(self):
+        r = self._rates()
+        # One reduction per batch is EP's only communication.
+        assert r["EP.A"]["comm_fraction"] < 0.02
+        assert r["EP.A"]["dcache_ratio"] < 0.002
+
+    def test_ft_and_mg_stress_memory(self):
+        r = self._rates()
+        for name in ("FT.A", "MG.A"):
+            assert r[name]["tlb_ratio"] > r["BT.A"]["tlb_ratio"]
+
+    def test_sp_is_comm_heaviest_pseudo_app(self):
+        r = self._rates()
+        assert r["SP.A"]["comm_fraction"] > r["BT.A"]["comm_fraction"]
+        assert r["SP.A"]["comm_fraction"] > r["LU.A"]["comm_fraction"]
+
+    def test_report_row_fields(self):
+        row = suite_report()[0]
+        assert {
+            "benchmark",
+            "processes",
+            "mflops_per_node",
+            "total_gflops",
+            "walltime_s",
+            "comm_fraction",
+            "dcache_ratio",
+            "tlb_ratio",
+        } <= set(row)

@@ -1,0 +1,126 @@
+"""Job profiles: rates from kernel + parallel structure."""
+
+import numpy as np
+import pytest
+
+from repro.power2.counters import BANK_SIZE, counter_index
+from repro.workload.kernels import kernel
+from repro.workload.profile import CommPattern, IOPattern, build_job_profile
+
+
+def build(**overrides):
+    args = dict(
+        app_name="test",
+        kernel=kernel("cfd_multiblock"),
+        nodes=16,
+        flops_per_node_per_iteration=3e8,
+        walltime_seconds=3600.0,
+        memory_bytes_per_node=64e6,
+        comm=CommPattern(neighbors=6, bytes_per_neighbor=5e5, global_syncs=2),
+        io=IOPattern(bytes_per_checkpoint=6e7),
+    )
+    args.update(overrides)
+    return build_job_profile(**args)
+
+
+class TestStructure:
+    def test_rate_vectors_bank_ordered(self):
+        p = build()
+        assert p.user_rates.shape == (BANK_SIZE,)
+        assert p.system_rates.shape == (BANK_SIZE,)
+
+    def test_fractions_sum_to_one(self):
+        p = build()
+        assert p.compute_fraction + p.comm_fraction + p.io_fraction == pytest.approx(1.0)
+
+    def test_mflops_consistent_with_counters(self):
+        p = build()
+        flops_rate = (
+            p.user_rates[counter_index("fpu0_fp_add")]
+            + p.user_rates[counter_index("fpu1_fp_add")]
+            + p.user_rates[counter_index("fpu0_fp_mul")]
+            + p.user_rates[counter_index("fpu1_fp_mul")]
+            + p.user_rates[counter_index("fpu0_fp_div")]
+            + p.user_rates[counter_index("fpu1_fp_div")]
+            + 2 * p.user_rates[counter_index("fpu0_fp_muladd")]
+            + 2 * p.user_rates[counter_index("fpu1_fp_muladd")]
+        )
+        assert flops_rate / 1e6 == pytest.approx(p.mflops_per_node, rel=1e-6)
+
+    def test_dma_rates_present_with_comm(self):
+        p = build()
+        assert p.user_rates[counter_index("dma_read")] > 0
+        assert p.user_rates[counter_index("dma_write")] > 0
+
+    def test_no_comm_no_message_dma(self):
+        p = build(comm=CommPattern(), io=IOPattern())
+        assert p.user_rates[counter_index("dma_read")] == 0.0
+
+    def test_system_rates_include_protocol_work(self):
+        with_comm = build()
+        without = build(comm=CommPattern(), io=IOPattern())
+        assert (
+            with_comm.system_rates[counter_index("fxu0")]
+            > without.system_rates[counter_index("fxu0")]
+        )
+
+
+class TestBehaviour:
+    def test_serial_fraction_lowers_rate(self):
+        fast = build(serial_fraction=0.0)
+        slow = build(serial_fraction=0.5)
+        assert slow.mflops_per_node < fast.mflops_per_node
+        assert slow.mflops_per_node == pytest.approx(0.5 * fast.mflops_per_node, rel=0.01)
+
+    def test_async_comm_beats_sync(self):
+        sync = build(comm=CommPattern(neighbors=6, bytes_per_neighbor=5e5))
+        async_ = build(
+            comm=CommPattern(neighbors=6, bytes_per_neighbor=5e5, asynchronous=True)
+        )
+        assert async_.mflops_per_node > sync.mflops_per_node
+
+    def test_more_comm_lowers_rate(self):
+        light = build(comm=CommPattern(neighbors=2, bytes_per_neighbor=1e5))
+        heavy = build(comm=CommPattern(neighbors=8, bytes_per_neighbor=2e6))
+        assert heavy.mflops_per_node < light.mflops_per_node
+        assert heavy.comm_fraction > light.comm_fraction
+
+    def test_io_fraction_scales_with_checkpoint(self):
+        none = build(io=IOPattern())
+        big = build(io=IOPattern(bytes_per_checkpoint=5e8, iterations_per_checkpoint=10))
+        assert none.io_fraction == 0.0
+        assert big.io_fraction > 0.0
+
+    def test_single_node_has_no_comm(self):
+        p = build(nodes=1)
+        assert p.comm_fraction == 0.0
+        # No message traffic (dma_write is receive-only here); checkpoint
+        # writes still appear as dma_read (memory → device).
+        assert p.user_rates[counter_index("dma_write")] == 0.0
+        assert p.user_rates[counter_index("dma_read")] > 0.0
+
+
+class TestValidation:
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            build(nodes=0)
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            build(flops_per_node_per_iteration=-1.0)
+
+    def test_bad_serial_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            build(serial_fraction=1.0)
+
+    def test_zero_walltime_rejected(self):
+        with pytest.raises(ValueError):
+            build(walltime_seconds=0.0)
+
+    def test_no_work_rejected(self):
+        with pytest.raises(ValueError):
+            build(
+                flops_per_node_per_iteration=0.0,
+                comm=CommPattern(),
+                io=IOPattern(),
+            )

@@ -1,0 +1,116 @@
+"""The instrumented Jacobi solver: numerics + counted instruction mixes."""
+
+import numpy as np
+import pytest
+
+from repro.power2.pipeline import CycleModel
+from repro.workload.solver import DecomposedJacobi, JacobiSolver
+
+
+class TestNumerics:
+    def test_residual_decreases(self):
+        s = JacobiSolver((12, 12, 12))
+        s.f[1:-1, 1:-1, 1:-1] = 1.0
+        first = s.sweep()
+        for _ in range(30):
+            last = s.sweep()
+        assert last < first
+
+    def test_zero_rhs_zero_solution_is_fixed_point(self):
+        s = JacobiSolver((8, 8, 8))
+        assert s.sweep() == 0.0
+        assert np.all(s.u == 0.0)
+
+    def test_converges_to_laplace_interior_mean(self):
+        """With u=1 on one face and f=0, Jacobi relaxes toward the
+        harmonic interpolation — interior values strictly within the
+        boundary range."""
+        s = JacobiSolver((10, 10, 10))
+        s.u[0, :, :] = 1.0  # Dirichlet via the halo
+        for _ in range(400):
+            s.u[0, :, :] = 1.0
+            s.sweep()
+        interior = s.u[1:-1, 1:-1, 1:-1]
+        assert 0.0 < interior.mean() < 1.0
+        assert interior[0].mean() > interior[-1].mean()  # gradient off the hot face
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            JacobiSolver((0, 4, 4))
+
+
+class TestInstrumentation:
+    def test_counts_scale_with_points(self):
+        small = JacobiSolver((8, 8, 8)).sweep_counts()
+        big = JacobiSolver((16, 8, 8)).sweep_counts()
+        assert big.flops == 2 * small.flops
+        assert big.loads == 2 * small.loads
+
+    def test_stencil_arithmetic(self):
+        c = JacobiSolver((10, 10, 10)).sweep_counts()
+        assert c.points == 1000
+        assert c.flops == 8000.0
+        assert c.flops_per_memref == pytest.approx(1.0)
+
+    def test_mix_flops_match_counts(self):
+        s = JacobiSolver((10, 10, 10))
+        mix = s.sweep_mix()
+        assert mix.flops == pytest.approx(s.sweep_counts().flops)
+        assert mix.memory_insts == pytest.approx(
+            s.sweep_counts().loads + s.sweep_counts().stores
+        )
+
+    def test_costed_rate_in_cfd_band(self):
+        """The counted stencil through the cycle model lands in §5's
+        measured CFD band — real code meets the statistical model."""
+        s = JacobiSolver((50, 50, 50))
+        result = CycleModel().execute(
+            s.sweep_mix(), s.memory_behaviour(), s.dependency_profile()
+        )
+        assert 10.0 <= result.mflops <= 40.0
+
+
+class TestDecomposed:
+    def test_iterate_reduces_residual(self):
+        d = DecomposedJacobi((24, 24, 24), 8)
+        d.set_uniform_load(1.0)
+        first = d.iterate(1)
+        last = d.iterate(20)
+        assert last < first
+        assert d.iterations_done == 21
+
+    def test_halo_exchange_moves_face_bytes(self):
+        d = DecomposedJacobi((24, 24, 24), 8)
+        for s in d.solvers:
+            s.u[1:-1, 1:-1, 1:-1] = 1.0
+        moved = d.exchange_halos()
+        # 8 ranks in a 2x2x2 grid, 3 faces each of 12x12 doubles.
+        assert moved == pytest.approx(8 * 3 * 12 * 12 * 8)
+
+    def test_halo_exchange_transfers_values(self):
+        d = DecomposedJacobi((8, 4, 4), 2)  # split along x
+        d.solvers[0].u[1:-1, 1:-1, 1:-1] = 7.0
+        d.exchange_halos()
+        # Rank 1's low-x halo now holds rank 0's high interior plane.
+        assert np.all(d.solvers[1].u[0, 1:-1, 1:-1] == 7.0)
+
+    def test_decomposed_matches_single_domain(self):
+        """Splitting must not change the mathematics: after the same
+        number of sweeps the decomposed interior equals the global one."""
+        glob = JacobiSolver((8, 8, 8))
+        glob.f[1:-1, 1:-1, 1:-1] = 1.0
+        d = DecomposedJacobi((8, 8, 8), 2)
+        d.set_uniform_load(1.0)
+        for _ in range(12):
+            glob.sweep()
+            d.iterate(1)
+        left = d.solvers[0].u[1:-1, 1:-1, 1:-1]
+        np.testing.assert_allclose(
+            left, glob.u[1:5, 1:-1, 1:-1], rtol=1e-12, atol=1e-12
+        )
+
+    def test_per_rank_mix_and_halo_bytes(self):
+        d = DecomposedJacobi((96, 96, 32), 28, variables=25)
+        mix = d.per_rank_mix(0)
+        assert mix.flops > 0
+        assert d.halo_bytes_per_iteration(0) > 0

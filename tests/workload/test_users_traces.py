@@ -1,0 +1,120 @@
+"""User population, demand model, and campaign traces."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngStreams
+from repro.workload.traces import generate_trace, submissions_by_app
+from repro.workload.users import DemandModel, UserPopulation
+
+
+def rng(name="t"):
+    return RngStreams(5).get(name)
+
+
+class TestUserPopulation:
+    def test_population_size(self):
+        assert len(UserPopulation(10, rng())) == 10
+
+    def test_zero_users_rejected(self):
+        with pytest.raises(ValueError):
+            UserPopulation(0, rng())
+
+    def test_preferences_are_distributions(self):
+        pop = UserPopulation(20, rng())
+        for u in pop.users:
+            assert u.app_weights.sum() == pytest.approx(1.0)
+            assert (u.app_weights >= 0).all()
+
+    def test_users_differ(self):
+        pop = UserPopulation(5, rng())
+        assert not np.allclose(pop.users[0].app_weights, pop.users[1].app_weights)
+
+    def test_pick_app_is_known(self):
+        pop = UserPopulation(5, rng())
+        r = rng("pick")
+        for _ in range(20):
+            name = pop.pick_user(r).pick_app(r)
+            assert isinstance(name, str) and name
+
+
+class TestDemandModel:
+    def test_levels_bounded(self):
+        dm = DemandModel(rng(), 300)
+        assert (dm.levels > 0).all()
+        assert (dm.levels <= 1.08).all()
+
+    def test_weekends_lower(self):
+        dm = DemandModel(rng(), 700)
+        weekday = np.mean([dm.demand(d) for d in range(700) if d % 7 < 5])
+        weekend = np.mean([dm.demand(d) for d in range(700) if d % 7 >= 5])
+        assert weekend < weekday
+
+    def test_autocorrelation(self):
+        """Figure 1's swings come from a *correlated* demand walk."""
+        dm = DemandModel(rng(), 500)
+        x = dm.levels
+        r = np.corrcoef(x[:-1], x[1:])[0, 1]
+        assert r > 0.4
+
+    def test_zero_days_rejected(self):
+        with pytest.raises(ValueError):
+            DemandModel(rng(), 0)
+
+    def test_submit_times_within_day(self):
+        dm = DemandModel(rng(), 10)
+        r = rng("times")
+        ts = [dm.submit_time_in_day(r) for _ in range(200)]
+        assert all(0.0 <= t < 86400.0 for t in ts)
+
+    def test_work_hours_bulge(self):
+        dm = DemandModel(rng(), 10)
+        r = rng("bulge")
+        ts = np.array([dm.submit_time_in_day(r) for _ in range(2000)])
+        afternoon = ((ts > 11 * 3600) & (ts < 18 * 3600)).mean()
+        assert afternoon > 0.35  # uniform would give ~0.29
+
+
+class TestTraces:
+    def test_determinism(self):
+        a = generate_trace(3, n_days=3, n_nodes=32, n_users=5)
+        b = generate_trace(3, n_days=3, n_nodes=32, n_users=5)
+        assert len(a.submissions) == len(b.submissions)
+        assert all(
+            x.time == y.time and x.app_name == y.app_name
+            for x, y in zip(a.submissions, b.submissions)
+        )
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(3, n_days=3, n_nodes=32, n_users=5)
+        b = generate_trace(4, n_days=3, n_nodes=32, n_users=5)
+        assert [s.time for s in a.submissions] != [s.time for s in b.submissions]
+
+    def test_sorted_by_time(self):
+        t = generate_trace(1, n_days=5, n_nodes=64, n_users=10)
+        times = [s.time for s in t.submissions]
+        assert times == sorted(times)
+
+    def test_submissions_within_horizon(self):
+        t = generate_trace(1, n_days=5, n_nodes=64, n_users=10)
+        assert all(0 <= s.time < t.horizon_seconds for s in t.submissions)
+
+    def test_nodes_respect_machine_size(self):
+        t = generate_trace(2, n_days=5, n_nodes=32, n_users=10)
+        assert all(s.nodes <= 32 for s in t.submissions)
+
+    def test_offered_load_tracks_demand(self):
+        t = generate_trace(1, n_days=20, n_nodes=144, n_users=40)
+        mean_demand = t.demand_levels.mean()
+        assert t.offered_load() == pytest.approx(mean_demand, rel=0.35)
+
+    def test_app_mix_spans_catalog(self):
+        t = generate_trace(1, n_days=20, n_nodes=144, n_users=40)
+        counts = submissions_by_app(t)
+        present = [name for name, c in counts.items() if c > 0]
+        assert len(present) >= 7
+        assert counts["multiblock_cfd"] == max(counts.values())
+
+    def test_zero_days_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace(0, n_days=0)
