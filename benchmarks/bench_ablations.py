@@ -16,7 +16,6 @@ Four mechanisms carry the paper's findings (DESIGN.md §5):
 """
 
 import numpy as np
-import pytest
 
 from repro.cluster.machine import SP2Machine
 from repro.pbs.queue import JobQueue

@@ -6,7 +6,6 @@ best day and a 5.7 Gflops best 15-minute interval; *no upward trend*
 despite the machine being configured for code development.
 """
 
-import numpy as np
 
 from repro.analysis.figures import figure1
 

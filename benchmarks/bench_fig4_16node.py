@@ -5,7 +5,6 @@ a moving average showing *no improvement trend* over the nine months —
 users never rewrote their codes (§6/§7).
 """
 
-import numpy as np
 
 from repro.analysis.figures import figure4
 

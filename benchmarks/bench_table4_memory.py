@@ -6,7 +6,6 @@ The orderings are the experiment's point: BT's rearranged loop nests
 beat both the workload and the no-reuse bound on the TLB.
 """
 
-import numpy as np
 
 from repro.analysis.tables import table4
 

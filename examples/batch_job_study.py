@@ -12,7 +12,6 @@ Run::
 
 import sys
 
-import numpy as np
 
 from repro import figure2, figure3, figure4, run_study
 from repro.hpm.jobreport import render_job_report

@@ -17,7 +17,6 @@ Run::
     python examples/real_solver_measurement.py
 """
 
-import numpy as np
 
 from repro.cluster.machine import SP2Machine
 from repro.pbs.scheduler import PBSServer

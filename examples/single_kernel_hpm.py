@@ -15,7 +15,7 @@ Run::
 """
 
 from repro.hpm.derived import workload_rates
-from repro.power2.counters import Mode
+
 from repro.power2.node import Node, PhaseKind, WorkPhase
 from repro.power2.pipeline import CycleModel
 from repro.util.tables import Table

@@ -20,5 +20,10 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.23"],
-    entry_points={"console_scripts": ["sp2-study = repro.cli:main"]},
+    entry_points={
+        "console_scripts": [
+            "sp2-study = repro.cli:main",
+            "sp2-ops = repro.ops_cli:main",
+        ]
+    },
 )

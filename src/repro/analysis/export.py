@@ -56,6 +56,10 @@ def dataset_summary(dataset: StudyDataset) -> dict[str, Any]:
     ]
     idx, _ = busy_days(dataset)
 
+    telemetry = (
+        dataset.telemetry.summary() if dataset.telemetry is not None else None
+    )
+
     return {
         "config": {
             "seed": dataset.config.seed,
@@ -73,6 +77,7 @@ def dataset_summary(dataset: StudyDataset) -> dict[str, Any]:
             "busy_days": len(idx),
             "time_weighted_mflops_per_node": acct.time_weighted_mflops_per_node(),
         },
+        "telemetry": telemetry,
         "headlines": headlines,
     }
 

@@ -6,6 +6,12 @@ side: one plain-text report per campaign day with the day's rates, the
 jobs that finished, the paging suspects, and the current machine state —
 the report an operator would read each morning to spot the §6 pathology
 before users complained.
+
+The job-facing facts now come from the streaming telemetry rollups
+(finalized at epilogue time, :mod:`repro.telemetry.rollup`) rather than
+being recomputed from the raw accounting log; datasets without a
+telemetry service (hand-assembled ones) fall back to the legacy scan,
+which produces byte-identical reports.
 """
 
 from __future__ import annotations
@@ -38,6 +44,18 @@ class DayOps:
         return not self.paging_suspects and self.rates.system_user_fxu_ratio < 0.2
 
 
+def _finished_records(dataset: StudyDataset, start: float, end: float) -> list[JobRecord]:
+    """Jobs that ended in ``[start, end)``, epilogue order.
+
+    The telemetry rollup table already holds exactly this (finalized at
+    epilogue time); scanning the accounting log is the fallback for
+    datasets that were assembled without a telemetry service.
+    """
+    if dataset.telemetry is not None:
+        return [r.record for r in dataset.telemetry.rollups.finished_between(start, end)]
+    return [r for r in dataset.accounting.records if start <= r.end_time < end]
+
+
 def day_ops(dataset: StudyDataset, day: int, *, top_n: int = 3) -> DayOps:
     """Assemble one day's operations report data."""
     daily = dataset.daily_rates()
@@ -47,9 +65,7 @@ def day_ops(dataset: StudyDataset, day: int, *, top_n: int = 3) -> DayOps:
     util = dataset.daily_utilization()
     start, end = day * SECONDS_PER_DAY, (day + 1) * SECONDS_PER_DAY
 
-    finished = [
-        r for r in dataset.accounting.records if start <= r.end_time < end
-    ]
+    finished = _finished_records(dataset, start, end)
     finished.sort(key=lambda r: r.total_mflops, reverse=True)
     suspects = tuple(
         r

@@ -64,6 +64,16 @@ def main(argv: list[str] | None = None) -> int:
 
     print(paper_comparison(dataset))
 
+    if len(dataset.accounting) == 0:
+        # A campaign with no finished jobs measured nothing; exiting 0
+        # would let an empty run masquerade as a successful study.
+        print(
+            "error: campaign finished zero jobs — nothing was measured "
+            "(check --days/--users)",
+            file=sys.stderr,
+        )
+        return 1
+
     if args.tables:
         print()
         print(table1().render())

@@ -22,7 +22,8 @@ from repro.hpm.derived import DerivedRates, workload_rates
 from repro.pbs.accounting import AccountingLog
 from repro.pbs.scheduler import PBSServer
 from repro.sim.engine import Simulator
-from repro.sim.periodic import PeriodicTask
+from repro.telemetry.bus import EventBus
+from repro.telemetry.service import TelemetryService
 from repro.workload.traces import SECONDS_PER_DAY, CampaignTrace, generate_trace
 
 
@@ -54,6 +55,9 @@ class StudyDataset:
     accounting: AccountingLog
     #: (probe time, busy node count) pairs.
     utilization_probes: list[tuple[float, int]] = field(default_factory=list)
+    #: The streaming observability view built while the campaign ran
+    #: (None for datasets assembled outside :class:`WorkloadStudy`).
+    telemetry: TelemetryService | None = None
 
     # ------------------------------------------------------------------
     # Day-level series (the paper's Figure 1 axes)
@@ -128,10 +132,15 @@ class WorkloadStudy:
         self.config = config or StudyConfig()
         self.sim = Simulator()
         self.machine = SP2Machine(self.config.n_nodes, self.config.machine_config)
-        self.pbs = PBSServer(self.sim, self.machine)
+        # One bus per campaign: the collector and PBS publish, the
+        # telemetry service consumes — the streaming counterpart of §3's
+        # "stores this data for later analysis".
+        self.bus = EventBus()
+        self.telemetry = TelemetryService(bus=self.bus)
+        self.pbs = PBSServer(self.sim, self.machine, bus=self.bus)
         self.daemons = [NodeDaemon.for_node(n) for n in self.machine.nodes]
         self.collector = SystemCollector(
-            self.daemons, interval=self.config.sample_interval
+            self.daemons, interval=self.config.sample_interval, bus=self.bus
         )
         self._utilization_probes: list[tuple[float, int]] = []
 
@@ -156,8 +165,7 @@ class WorkloadStudy:
         # Arm the samplers (baseline sample at t=0 included).
         self.collector.attach(self.sim)
         self._probe_utilization(self.sim)
-        PeriodicTask(
-            self.sim,
+        self.sim.every(
             cfg.utilization_probe_interval,
             self._probe_utilization,
             name="utilization-probe",
@@ -183,6 +191,7 @@ class WorkloadStudy:
             collector=self.collector,
             accounting=self.pbs.accounting,
             utilization_probes=self._utilization_probes,
+            telemetry=self.telemetry,
         )
 
 

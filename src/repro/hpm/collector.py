@@ -16,6 +16,7 @@ vectorized (profiled: the dict-based path was 30× slower).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -23,6 +24,9 @@ from repro.hpm.daemon import DaemonUnavailable, NodeDaemon
 from repro.power2.counters import FLAT_NAMES
 from repro.sim.engine import Simulator
 from repro.sim.periodic import PeriodicTask
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry.bus import EventBus
 
 #: The paper's sampling cadence.
 SAMPLE_INTERVAL_SECONDS = 15 * 60.0
@@ -41,6 +45,19 @@ class SystemSample:
 
     def nodes(self) -> list[int]:
         return sorted(self.node_ids)
+
+    @property
+    def unreachable(self) -> tuple[int, ...]:
+        """Node ids whose daemon did not answer this pass (sorted).
+
+        Telemetry's node-gap rule reads this to alert on daemon outages
+        rather than merely tolerating them.
+        """
+        return tuple(sorted(self.missing))
+
+    @property
+    def n_unreachable(self) -> int:
+        return len(self.missing)
 
     def snapshot_for(self, node_id: int) -> dict[str, int]:
         """One node's flat-labelled snapshot (compatibility view)."""
@@ -62,6 +79,29 @@ class IntervalCounts:
         return self.end - self.start
 
 
+def sample_delta(before: SystemSample, after: SystemSample) -> IntervalCounts:
+    """Counter deltas between two samples, summed over the nodes present
+    in both (a node missing from either is skipped, as the real scripts
+    had to do).  Shared by the batch :meth:`SystemCollector.intervals`
+    path and the streaming telemetry service's incremental path."""
+    if before.node_ids == after.node_ids:
+        diff = after.matrix - before.matrix
+        n_common = len(before.node_ids)
+    else:
+        common = sorted(set(before.node_ids) & set(after.node_ids))
+        bi = [before.node_ids.index(n) for n in common]
+        ai = [after.node_ids.index(n) for n in common]
+        diff = after.matrix[ai] - before.matrix[bi]
+        n_common = len(common)
+    if np.any(diff < 0):
+        raise AssertionError("software counters went backwards")
+    sums = diff.sum(axis=0)
+    totals = {name: int(v) for name, v in zip(FLAT_NAMES, sums) if v}
+    return IntervalCounts(
+        start=before.time, end=after.time, totals=totals, n_nodes=n_common
+    )
+
+
 class SystemCollector:
     """Collects and stores system-wide samples on the simulation clock."""
 
@@ -70,13 +110,18 @@ class SystemCollector:
         daemons: list[NodeDaemon],
         *,
         interval: float = SAMPLE_INTERVAL_SECONDS,
+        bus: "EventBus | None" = None,
     ) -> None:
         if not daemons:
             raise ValueError("collector needs at least one node daemon")
         self.daemons = daemons
         self.interval = interval
+        self.bus = bus
         self.samples: list[SystemSample] = []
         self._intervals_cache: list[IntervalCounts] | None = None
+        #: Nodes unreachable as of the latest pass (transition tracking
+        #: for the node.down / node.up bus topics).
+        self._down: set[int] = set()
 
     def attach(self, sim: Simulator) -> PeriodicTask:
         """Arm the cron job; also takes the t=0 baseline sample."""
@@ -103,7 +148,34 @@ class SystemCollector:
         )
         self.samples.append(sample)
         self._intervals_cache = None
+        self._publish(sample)
         return sample
+
+    def _publish(self, sample: SystemSample) -> None:
+        """Feed the streaming side: the sample itself, plus node
+        reachability transitions (down on first missed pass, up on the
+        first answered one)."""
+        if self.bus is None:
+            return
+        from repro.telemetry.bus import (
+            TOPIC_NODE_DOWN,
+            TOPIC_NODE_UP,
+            TOPIC_SAMPLE,
+            NodeStateChanged,
+            SampleTaken,
+        )
+
+        now_down = set(sample.missing)
+        for node_id in sorted(now_down - self._down):
+            self.bus.publish(
+                TOPIC_NODE_DOWN, NodeStateChanged(time=sample.time, node_id=node_id, up=False)
+            )
+        for node_id in sorted(self._down - now_down):
+            self.bus.publish(
+                TOPIC_NODE_UP, NodeStateChanged(time=sample.time, node_id=node_id, up=True)
+            )
+        self._down = now_down
+        self.bus.publish(TOPIC_SAMPLE, SampleTaken(time=sample.time, sample=sample))
 
     # ------------------------------------------------------------------
     # Interval algebra
@@ -114,26 +186,10 @@ class SystemCollector:
         that interval, as the real scripts had to do)."""
         if self._intervals_cache is not None:
             return self._intervals_cache
-        out: list[IntervalCounts] = []
-        for before, after in zip(self.samples, self.samples[1:]):
-            if before.node_ids == after.node_ids:
-                diff = after.matrix - before.matrix
-                n_common = len(before.node_ids)
-            else:
-                common = sorted(set(before.node_ids) & set(after.node_ids))
-                bi = [before.node_ids.index(n) for n in common]
-                ai = [after.node_ids.index(n) for n in common]
-                diff = after.matrix[ai] - before.matrix[bi]
-                n_common = len(common)
-            if np.any(diff < 0):
-                raise AssertionError("software counters went backwards")
-            sums = diff.sum(axis=0)
-            totals = {name: int(v) for name, v in zip(FLAT_NAMES, sums) if v}
-            out.append(
-                IntervalCounts(
-                    start=before.time, end=after.time, totals=totals, n_nodes=n_common
-                )
-            )
+        out = [
+            sample_delta(before, after)
+            for before, after in zip(self.samples, self.samples[1:])
+        ]
         self._intervals_cache = out
         return out
 

@@ -1,0 +1,234 @@
+"""``sp2-ops`` — the live operations view of a campaign.
+
+Where ``sp2-study`` prints the paper's post-hoc artefacts, ``sp2-ops``
+replays a campaign through the streaming telemetry subsystem and renders
+what an operator console would have shown *while it ran*: the rolling
+15-minute feed, the fired alerts, campaign-wide metric statistics, and
+the finished-job rollups.
+
+Examples::
+
+    sp2-ops alerts --days 30 --seed 1          # what fired, when
+    sp2-ops tail   --days 3  --seed 1          # the live feed, alerts inline
+    sp2-ops query  --metric tlb.miss_rate --days 30 --plot
+    sp2-ops jobs   --days 30 --top 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.study import StudyDataset, run_study
+from repro.telemetry.rules import render_alert, render_alerts
+from repro.telemetry.service import METRIC_CATALOG, TelemetryService
+from repro.workload.traces import SECONDS_PER_DAY
+
+
+def _fmt_time(t: float) -> str:
+    day, rem = divmod(t, SECONDS_PER_DAY)
+    hh, mm = divmod(int(rem) // 60, 60)
+    return f"d{int(day):03d} {hh:02d}:{mm:02d}"
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def add_campaign_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--seed", type=int, default=0, help="campaign seed (default 0)")
+    p.add_argument("--days", type=_positive_int, default=3, help="campaign length in days")
+    p.add_argument("--nodes", type=_positive_int, default=144, help="cluster size")
+    p.add_argument("--users", type=_positive_int, default=60, help="user population size")
+
+
+def run_campaign(args: argparse.Namespace) -> StudyDataset:
+    t0 = time.time()
+    print(
+        f"Replaying {args.days}-day campaign on {args.nodes} nodes "
+        f"(seed {args.seed}, {args.users} users)...",
+        file=sys.stderr,
+    )
+    dataset = run_study(
+        args.seed, n_days=args.days, n_nodes=args.nodes, n_users=args.users
+    )
+    print(f"Replay done in {time.time() - t0:.1f}s.", file=sys.stderr)
+    return dataset
+
+
+def _telemetry(dataset: StudyDataset) -> TelemetryService:
+    # Every WorkloadStudy-run dataset carries its service; the replay
+    # path covers datasets loaded from elsewhere.
+    if dataset.telemetry is not None:
+        return dataset.telemetry
+    return TelemetryService.replay(dataset.collector.samples, dataset.accounting.records)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+def cmd_alerts(dataset: StudyDataset, args: argparse.Namespace) -> int:
+    t = _telemetry(dataset)
+    alerts = t.alerts
+    if args.rule:
+        known = {r.name for r in t.engine.rules}
+        if args.rule not in known:
+            print(
+                f"unknown rule {args.rule!r}; available: {', '.join(sorted(known))}",
+                file=sys.stderr,
+            )
+            return 2
+        alerts = [a for a in alerts if a.rule == args.rule]
+    print(render_alerts(alerts))
+    by_rule = ", ".join(f"{k}={v}" for k, v in sorted(t.alert_counts().items()))
+    print(
+        f"-- {len(alerts)} alert(s) shown, {len(t.alerts)} fired "
+        f"({by_rule or 'none'}), {t.engine.suppressed} suppressed by cooldown, "
+        f"{t.intervals_seen} intervals watched"
+    )
+    return 0
+
+
+def cmd_tail(dataset: StudyDataset, args: argparse.Namespace) -> int:
+    t = _telemetry(dataset)
+    times, gflops = t.store.window("gflops.system")
+    _, ratio = t.store.window("fxu.sys_user_ratio")
+    _, tlb = t.store.window("tlb.miss_rate")
+    _, nodes = t.store.window("nodes.reporting")
+    _, active = t.store.window("jobs.active")
+
+    n = len(times)
+    start = 0 if args.limit in (None, 0) else max(0, n - args.limit)
+    alerts = iter(t.alerts)
+    pending = next(alerts, None)
+    # Fast-forward alerts that precede the visible window.
+    while pending is not None and start > 0 and pending.time < times[start]:
+        pending = next(alerts, None)
+    print(
+        f"{'TIME':<10s} {'GFLOPS':>7s} {'SYS/USR':>8s} {'TLB M/s':>8s} "
+        f"{'NODES':>6s} {'JOBS':>5s}"
+    )
+    shown = 0
+    for i in range(start, n):
+        while pending is not None and pending.time <= times[i]:
+            print("! " + render_alert(pending))
+            pending = next(alerts, None)
+        print(
+            f"{_fmt_time(times[i]):<10s} {gflops[i]:7.2f} {ratio[i]:8.3f} "
+            f"{tlb[i]:8.3f} {int(nodes[i]):6d} {int(active[i]):5d}"
+        )
+        shown += 1
+    while pending is not None:
+        print("! " + render_alert(pending))
+        pending = next(alerts, None)
+    dropped = t.store.series("gflops.system").dropped
+    note = f" (ring evicted {dropped} older samples)" if dropped else ""
+    print(f"-- {shown} of {t.intervals_seen} intervals shown{note}")
+    return 0
+
+
+def cmd_query(dataset: StudyDataset, args: argparse.Namespace) -> int:
+    t = _telemetry(dataset)
+    if args.metric not in t.store.names():
+        known = "\n  ".join(
+            f"{name:<22s} {METRIC_CATALOG.get(name, '')}" for name in t.store.names()
+        )
+        print(f"unknown metric {args.metric!r}; available:\n  {known}", file=sys.stderr)
+        return 2
+    t0 = args.day_from * SECONDS_PER_DAY if args.day_from is not None else None
+    t1 = (args.day_to + 1) * SECONDS_PER_DAY if args.day_to is not None else None
+    s = t.store.summary(args.metric)
+    times, values = t.store.window(args.metric, t0, t1)
+    print(f"metric   : {args.metric} — {METRIC_CATALOG.get(args.metric, '?')}")
+    print(f"points   : {s.count} appended, {s.dropped} evicted, {len(times)} in window")
+    print(f"last     : {s.last:.4g}   ewma {s.ewma:.4g}")
+    print(f"range    : min {s.min:.4g}   max {s.max:.4g}")
+    qtext = "   ".join(f"p{int(p * 100):d} {v:.4g}" for p, v in sorted(s.quantiles.items()))
+    print(f"quantiles: {qtext}  (P² streaming estimates)")
+    if args.plot and len(values):
+        from repro.util.asciiplot import ascii_series
+
+        print()
+        print(ascii_series(values, title=f"{args.metric} over the window"))
+    return 0
+
+
+def cmd_jobs(dataset: StudyDataset, args: argparse.Namespace) -> int:
+    t = _telemetry(dataset)
+    rollups = t.rollups.for_user(args.user) if args.user is not None else list(
+        t.rollups.finished
+    )
+    rollups.sort(key=lambda r: r.total_mflops, reverse=True)
+    shown = rollups if args.top in (None, 0) else rollups[: args.top]
+    print(
+        f"{'JOB':>6s} {'APP':<20s} {'USER':>5s} {'NODES':>5s} {'WALL h':>7s} "
+        f"{'MFLOPS':>9s} {'MF/NODE':>8s} {'SYS/USR':>8s}  FINALIZED"
+    )
+    for r in shown:
+        rec = r.record
+        print(
+            f"{r.job_id:>6d} {r.app_name:<20.20s} {r.user:>5d} "
+            f"{rec.nodes_requested:>5d} {rec.walltime_seconds / 3600:7.2f} "
+            f"{r.total_mflops:9.1f} {r.mflops_per_node:8.2f} "
+            f"{r.system_user_fxu_ratio:8.3f}  {_fmt_time(r.finalized_at)}"
+        )
+    suspects = t.rollups.paging_suspects()
+    print(
+        f"-- {len(shown)} of {len(t.rollups)} finished jobs shown, "
+        f"{len(t.rollups.active)} still active, {len(suspects)} paging suspect(s)"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="sp2-ops",
+        description="Live operations view of an SP2 measurement campaign.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    p_alerts = sub.add_parser("alerts", help="alerts fired during the campaign")
+    add_campaign_args(p_alerts)
+    p_alerts.add_argument("--rule", default=None, help="only this rule's alerts")
+    p_alerts.set_defaults(func=cmd_alerts)
+
+    p_tail = sub.add_parser("tail", help="the 15-minute live feed, alerts inline")
+    add_campaign_args(p_tail)
+    p_tail.add_argument(
+        "--limit", type=int, default=48, help="show the last N intervals (0 = all)"
+    )
+    p_tail.set_defaults(func=cmd_tail)
+
+    p_query = sub.add_parser("query", help="campaign-wide statistics for one metric")
+    add_campaign_args(p_query)
+    p_query.add_argument("--metric", required=True, help="metric name (see docs/TELEMETRY.md)")
+    p_query.add_argument("--day-from", type=int, default=None, help="window start day")
+    p_query.add_argument("--day-to", type=int, default=None, help="window end day (inclusive)")
+    p_query.add_argument("--plot", action="store_true", help="ASCII-plot the window")
+    p_query.set_defaults(func=cmd_query)
+
+    p_jobs = sub.add_parser("jobs", help="finished-job rollups")
+    add_campaign_args(p_jobs)
+    p_jobs.add_argument("--top", type=int, default=15, help="show the top N by Mflops (0 = all)")
+    p_jobs.add_argument("--user", type=int, default=None, help="only this user's jobs")
+    p_jobs.set_defaults(func=cmd_jobs)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    dataset = run_campaign(args)
+    return args.func(dataset, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,7 +20,7 @@ reaches the counters.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -38,6 +38,9 @@ from repro.power2.node import (
     compute_paging_state,
 )
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry.bus import EventBus
 
 
 def apply_paging_to_rates(
@@ -83,12 +86,15 @@ class PBSServer:
         *,
         queue: JobQueue | None = None,
         accounting: AccountingLog | None = None,
+        bus: "EventBus | None" = None,
     ) -> None:
         self.sim = sim
         self.machine = machine
         # NOT `queue or JobQueue()`: an empty JobQueue is falsy (__len__).
         self.queue = queue if queue is not None else JobQueue()
         self.accounting = accounting if accounting is not None else AccountingLog()
+        #: Telemetry event bus; job lifecycle events are published here.
+        self.bus = bus
         self.running: dict[int, tuple[JobSpec, int, tuple[int, ...], float, dict]] = {}
         self._next_job_id = 1
         #: Optional observer called with each finished JobRecord.
@@ -155,6 +161,20 @@ class PBSServer:
             )
 
         self.running[job.job_id] = (job, alloc_id, node_ids, now, prologue)
+        if self.bus is not None:
+            from repro.telemetry.bus import TOPIC_JOB_START, JobStarted
+
+            self.bus.publish(
+                TOPIC_JOB_START,
+                JobStarted(
+                    time=now,
+                    job_id=job.job_id,
+                    user=job.user,
+                    app_name=job.app_name,
+                    nodes_requested=job.nodes_requested,
+                    node_ids=node_ids,
+                ),
+            )
         self.sim.schedule(
             profile.walltime_seconds,
             lambda sim, job_id=job.job_id: self._end_job(job_id),
@@ -188,6 +208,10 @@ class PBSServer:
             counter_deltas=deltas,
         )
         self.accounting.append(record)
+        if self.bus is not None:
+            from repro.telemetry.bus import TOPIC_JOB_END, JobEnded
+
+            self.bus.publish(TOPIC_JOB_END, JobEnded(time=now, record=record))
         if self.on_job_end is not None:
             self.on_job_end(record)
         self.schedule_pass()

@@ -88,6 +88,26 @@ class Simulator:
         heapq.heappush(self._queue, ev)
         return ev
 
+    def every(
+        self,
+        period: float,
+        handler: Callable[["Simulator"], None],
+        *,
+        start: float | None = None,
+        name: str = "periodic",
+    ):
+        """Periodic hook: run ``handler`` every ``period`` seconds.
+
+        Returns the armed :class:`~repro.sim.periodic.PeriodicTask` (its
+        ``stop()`` disarms the hook).  This is the attachment point the
+        measurement and telemetry layers use — the 15-minute cron, the
+        utilization probe — without each caller importing the periodic
+        machinery.
+        """
+        from repro.sim.periodic import PeriodicTask
+
+        return PeriodicTask(self, period, handler, start=start, name=name)
+
     def peek(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is empty."""
         while self._queue and self._queue[0].cancelled:

@@ -1,0 +1,122 @@
+"""The telemetry event bus.
+
+The original RS2HPM pipeline wrote files for *later* analysis (§3); the
+streaming layer replaces the filesystem hand-off with an in-process
+publish/subscribe bus.  Producers are the measurement side — the
+15-minute collector cron, the PBS server's prologue/epilogue, and the
+collector's node-reachability bookkeeping — and the consumers are the
+online side: the metric store, the anomaly engine, and the per-job
+rollup table (see :mod:`repro.telemetry.service`).
+
+Delivery is synchronous and in subscription order on the simulation
+clock, so a campaign replay produces a deterministic event stream — the
+property the alert-reproducibility tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.pbs.job import JobRecord
+
+# ----------------------------------------------------------------------
+# Topics
+# ----------------------------------------------------------------------
+
+#: One 15-minute collector pass (payload: :class:`SampleTaken`).
+TOPIC_SAMPLE = "hpm.sample"
+#: A job entered execution — prologue time (payload: :class:`JobStarted`).
+TOPIC_JOB_START = "pbs.job_start"
+#: A job finished — epilogue time (payload: :class:`JobEnded`).
+TOPIC_JOB_END = "pbs.job_end"
+#: A node daemon stopped answering (payload: :class:`NodeStateChanged`).
+TOPIC_NODE_DOWN = "node.down"
+#: A node daemon answered again (payload: :class:`NodeStateChanged`).
+TOPIC_NODE_UP = "node.up"
+
+TOPICS = (TOPIC_SAMPLE, TOPIC_JOB_START, TOPIC_JOB_END, TOPIC_NODE_DOWN, TOPIC_NODE_UP)
+
+
+# ----------------------------------------------------------------------
+# Event payloads
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SampleTaken:
+    """One collector pass; ``sample`` is the stored ``SystemSample``."""
+
+    time: float
+    sample: Any  # repro.hpm.collector.SystemSample (kept untyped: no cycle)
+
+
+@dataclass(frozen=True)
+class JobStarted:
+    """Prologue-time job facts."""
+
+    time: float
+    job_id: int
+    user: int
+    app_name: str
+    nodes_requested: int
+    node_ids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class JobEnded:
+    """Epilogue-time job facts; ``record`` is the accounting row."""
+
+    time: float
+    record: JobRecord
+
+
+@dataclass(frozen=True)
+class NodeStateChanged:
+    """A node's daemon became unreachable (or reachable again)."""
+
+    time: float
+    node_id: int
+    up: bool
+
+
+# ----------------------------------------------------------------------
+# The bus
+# ----------------------------------------------------------------------
+
+@dataclass
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`."""
+
+    topic: str
+    handler: Callable[[Any], None]
+    active: bool = True
+
+    def cancel(self) -> None:
+        self.active = False
+
+
+@dataclass
+class EventBus:
+    """Synchronous topic-keyed publish/subscribe."""
+
+    _subs: dict[str, list[Subscription]] = field(default_factory=dict)
+    #: Events published per topic (monitoring the monitor).
+    published: dict[str, int] = field(default_factory=dict)
+
+    def subscribe(self, topic: str, handler: Callable[[Any], None]) -> Subscription:
+        sub = Subscription(topic=topic, handler=handler)
+        self._subs.setdefault(topic, []).append(sub)
+        return sub
+
+    def publish(self, topic: str, event: Any) -> int:
+        """Deliver ``event`` to every live subscriber; returns how many."""
+        self.published[topic] = self.published.get(topic, 0) + 1
+        delivered = 0
+        for sub in self._subs.get(topic, ()):
+            if sub.active:
+                sub.handler(event)
+                delivered += 1
+        return delivered
+
+    def subscriber_count(self, topic: str) -> int:
+        return sum(1 for s in self._subs.get(topic, ()) if s.active)

@@ -1,0 +1,198 @@
+"""The streaming telemetry service: bus consumers wired together.
+
+One :class:`TelemetryService` subscribes to the campaign's event bus and
+maintains, *while the simulation runs*:
+
+* the metric store (:mod:`repro.telemetry.store`) — one point per
+  15-minute interval for every metric in :data:`METRIC_CATALOG`;
+* the anomaly engine (:mod:`repro.telemetry.rules`) — evaluated on each
+  interval as it closes;
+* the per-job rollup table (:mod:`repro.telemetry.rollup`) — finalized
+  at epilogue time.
+
+The per-sample path is incremental: the service differences each new
+:class:`~repro.hpm.collector.SystemSample` against the previous one
+(same common-node algebra the batch ``intervals()`` uses) and derives
+the interval's rates once, so the online layer costs O(nodes) per
+sample regardless of campaign length.
+
+``replay`` rebuilds a service from recorded samples and job records —
+the offline path ``sp2-ops`` uses on an already-run dataset, and the
+determinism check (online == replay) in the integration tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.hpm.collector import SystemSample, sample_delta
+from repro.hpm.derived import DerivedRates, workload_rates
+from repro.pbs.job import JobRecord
+from repro.telemetry.bus import (
+    TOPIC_JOB_END,
+    TOPIC_JOB_START,
+    TOPIC_SAMPLE,
+    EventBus,
+    JobEnded,
+    JobStarted,
+    SampleTaken,
+)
+from repro.telemetry.rollup import RollupTable
+from repro.telemetry.rules import Alert, AnomalyEngine, Observation
+from repro.telemetry.store import MetricStore
+
+#: The live metric catalog (name → what the value is, per interval).
+METRIC_CATALOG: dict[str, str] = {
+    "gflops.system": "whole-machine Gflops over the interval",
+    "mflops.node": "per-node Mflops over the interval",
+    "fxu.sys_user_ratio": "system-mode / user-mode FXU instruction ratio (§6)",
+    "fxu.user_mips": "user-mode FXU Mips per node (activity floor input)",
+    "fpu.ratio": "FPU0:FPU1 instruction ratio (§5 healthy ≈1.7)",
+    "tlb.miss_rate": "TLB misses, millions/s per node",
+    "dcache.miss_rate": "D-cache misses, millions/s per node",
+    "dma.mb_per_node": "DMA traffic, MB/s per node (§5 message passing)",
+    "cycles.user_fraction": "fraction of cycles spent in user mode",
+    "nodes.reporting": "nodes that answered both samples of the interval",
+    "jobs.active": "jobs between prologue and epilogue at sample time",
+}
+
+
+class TelemetryService:
+    """Online observability for one campaign."""
+
+    def __init__(
+        self,
+        *,
+        bus: EventBus | None = None,
+        store: MetricStore | None = None,
+        engine: AnomalyEngine | None = None,
+        rollups: RollupTable | None = None,
+    ) -> None:
+        self.bus = bus if bus is not None else EventBus()
+        self.store = store if store is not None else MetricStore()
+        self.engine = engine if engine is not None else AnomalyEngine()
+        self.rollups = rollups if rollups is not None else RollupTable()
+        self._prev_sample: SystemSample | None = None
+        self.samples_seen = 0
+        self.intervals_seen = 0
+        self.bus.subscribe(TOPIC_SAMPLE, self._on_sample)
+        self.bus.subscribe(TOPIC_JOB_START, self.rollups.on_start)
+        self.bus.subscribe(TOPIC_JOB_END, self._on_job_end)
+
+    # ------------------------------------------------------------------
+    # Bus handlers
+    # ------------------------------------------------------------------
+    def _on_sample(self, ev: SampleTaken) -> None:
+        sample = ev.sample
+        self.samples_seen += 1
+        prev, self._prev_sample = self._prev_sample, sample
+        if prev is None:
+            return
+        iv = sample_delta(prev, sample)
+        if iv.seconds <= 0 or iv.n_nodes <= 0:
+            return
+        rates = workload_rates(iv.totals, iv.seconds, iv.n_nodes)
+        self._record_interval(sample.time, rates, iv.n_nodes, sample.missing)
+
+    def _on_job_end(self, ev: JobEnded) -> None:
+        self.rollups.on_end(ev)
+
+    def _record_interval(
+        self,
+        time: float,
+        rates: DerivedRates,
+        nodes_reporting: int,
+        missing: tuple[int, ...],
+    ) -> None:
+        self.intervals_seen += 1
+        s = self.store
+        s.append("gflops.system", time, rates.gflops_system())
+        s.append("mflops.node", time, rates.mflops_total)
+        s.append("fxu.sys_user_ratio", time, rates.system_user_fxu_ratio)
+        s.append("fxu.user_mips", time, rates.mips_fxu_total)
+        if rates.mips_fp_unit1 > 0:
+            s.append("fpu.ratio", time, rates.fpu_ratio)
+        s.append("tlb.miss_rate", time, rates.tlb_miss_rate)
+        s.append("dcache.miss_rate", time, rates.dcache_miss_rate)
+        s.append("dma.mb_per_node", time, rates.dma_bytes_per_s / 1e6)
+        s.append("cycles.user_fraction", time, rates.user_cycle_fraction)
+        s.append("nodes.reporting", time, float(nodes_reporting))
+        s.append("jobs.active", time, float(len(self.rollups.active)))
+        self.engine.observe(
+            Observation(
+                time=time,
+                rates=rates,
+                nodes_reporting=nodes_reporting,
+                missing=missing,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def alerts(self) -> list[Alert]:
+        return self.engine.alerts
+
+    def alert_counts(self) -> dict[str, int]:
+        return self.engine.counts_by_rule()
+
+    def summary(self) -> dict:
+        """JSON-ready rollup of the telemetry side of a campaign."""
+        return {
+            "samples_seen": self.samples_seen,
+            "intervals_seen": self.intervals_seen,
+            "jobs_finished": len(self.rollups),
+            "jobs_active": len(self.rollups.active),
+            "alerts_total": len(self.engine.alerts),
+            "alerts_by_rule": self.alert_counts(),
+            "alerts_suppressed": self.engine.suppressed,
+        }
+
+    # ------------------------------------------------------------------
+    # Offline replay
+    # ------------------------------------------------------------------
+    @classmethod
+    def replay(
+        cls,
+        samples: Iterable[SystemSample],
+        records: Iterable[JobRecord] = (),
+    ) -> "TelemetryService":
+        """Rebuild the live view from recorded samples and job records.
+
+        Job starts are synthesized from the records' start times (only
+        finished jobs leave records, so ``jobs.active`` can undercount
+        near the horizon relative to the live view); everything the rules
+        and metric derivations consume is fed in time order exactly as
+        the live bus would have delivered it, so replayed alerts match
+        online alerts — the determinism property the integration tests
+        assert.
+        """
+        service = cls()
+        recs = list(records)
+        starts = sorted(recs, key=lambda r: (r.start_time, r.job_id))
+        ends = sorted(recs, key=lambda r: (r.end_time, r.job_id))
+        si = ei = 0
+        for sample in samples:
+            while ei < len(ends) and ends[ei].end_time <= sample.time:
+                rec = ends[ei]
+                service.bus.publish(TOPIC_JOB_END, JobEnded(time=rec.end_time, record=rec))
+                ei += 1
+            while si < len(starts) and starts[si].start_time <= sample.time:
+                rec = starts[si]
+                service.bus.publish(
+                    TOPIC_JOB_START,
+                    JobStarted(
+                        time=rec.start_time,
+                        job_id=rec.job_id,
+                        user=rec.user,
+                        app_name=rec.app_name,
+                        nodes_requested=rec.nodes_requested,
+                        node_ids=rec.node_ids,
+                    ),
+                )
+                si += 1
+            service.bus.publish(TOPIC_SAMPLE, SampleTaken(time=sample.time, sample=sample))
+        for rec in ends[ei:]:
+            service.bus.publish(TOPIC_JOB_END, JobEnded(time=rec.end_time, record=rec))
+        return service

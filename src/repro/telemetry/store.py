@@ -1,0 +1,196 @@
+"""Compact in-memory time-series store for the live telemetry feed.
+
+Design constraints, in order:
+
+* **O(1) append** — the store sits on the 15-minute sample path of a
+  campaign that may be scaled far past the paper's 144 nodes;
+* **bounded memory** — raw points live in a fixed-capacity ring per
+  metric (columnar ``float64`` time/value arrays), so a nine-month
+  campaign cannot grow the operator view without bound;
+* **whole-campaign aggregates survive eviction** — EWMA, running
+  min/max, and P² quantile sketches (:mod:`repro.telemetry.sketch`) are
+  updated on append and never forget, so ``sp2-ops query`` reports
+  campaign-wide statistics even after the ring has wrapped.
+
+Windowed queries return chronological ``(times, values)`` arrays over
+whatever raw points the ring still holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry.sketch import QuantileSet
+
+#: Default raw-point retention per metric (≈43 days of 15-minute samples).
+DEFAULT_CAPACITY = 4096
+
+#: Default EWMA smoothing factor (≈ a 2.5-hour memory at 15-minute cadence).
+DEFAULT_EWMA_ALPHA = 0.1
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Campaign-wide aggregate view of one metric."""
+
+    name: str
+    count: int
+    dropped: int
+    last: float
+    ewma: float
+    min: float
+    max: float
+    quantiles: dict[float, float]
+
+
+class MetricSeries:
+    """One metric's ring of raw points plus its streaming aggregators."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        capacity: int = DEFAULT_CAPACITY,
+        ewma_alpha: float = DEFAULT_EWMA_ALPHA,
+        quantiles: tuple[float, ...] = (0.5, 0.9, 0.99),
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        self.name = name
+        self.capacity = capacity
+        self._times = np.empty(capacity, dtype=np.float64)
+        self._values = np.empty(capacity, dtype=np.float64)
+        self._head = 0  # next write slot
+        self.count = 0  # total points ever appended
+        self._alpha = ewma_alpha
+        self.ewma = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.sketch = QuantileSet(quantiles)
+        self._last_time = float("-inf")
+
+    # ------------------------------------------------------------------
+    # Append path
+    # ------------------------------------------------------------------
+    def append(self, time: float, value: float) -> None:
+        """O(1): write one point and fold it into the aggregates."""
+        if time < self._last_time:
+            raise ValueError(
+                f"{self.name}: appends must be time-ordered "
+                f"({time} < {self._last_time})"
+            )
+        self._last_time = time
+        self._times[self._head] = time
+        self._values[self._head] = value
+        self._head = (self._head + 1) % self.capacity
+        v = float(value)
+        self.ewma = v if self.count == 0 else self._alpha * v + (1 - self._alpha) * self.ewma
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        self.sketch.add(v)
+        self.count += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Raw points currently retained."""
+        return min(self.count, self.capacity)
+
+    @property
+    def dropped(self) -> int:
+        """Raw points evicted by the ring."""
+        return self.count - self.size
+
+    def _ordered(self) -> tuple[np.ndarray, np.ndarray]:
+        n = self.size
+        if n < self.capacity:
+            return self._times[:n], self._values[:n]
+        idx = np.concatenate([np.arange(self._head, self.capacity), np.arange(self._head)])
+        return self._times[idx], self._values[idx]
+
+    def window(
+        self, t0: float | None = None, t1: float | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Chronological ``(times, values)`` with ``t0 <= t < t1``."""
+        times, values = self._ordered()
+        if t0 is not None or t1 is not None:
+            mask = np.ones(len(times), dtype=bool)
+            if t0 is not None:
+                mask &= times >= t0
+            if t1 is not None:
+                mask &= times < t1
+            times, values = times[mask], values[mask]
+        return times.copy(), values.copy()
+
+    def latest(self) -> tuple[float, float] | None:
+        if self.count == 0:
+            return None
+        i = (self._head - 1) % self.capacity
+        return float(self._times[i]), float(self._values[i])
+
+    def summary(self) -> MetricSummary:
+        last = self.latest()
+        return MetricSummary(
+            name=self.name,
+            count=self.count,
+            dropped=self.dropped,
+            last=last[1] if last else 0.0,
+            ewma=self.ewma,
+            min=self.min if self.count else 0.0,
+            max=self.max if self.count else 0.0,
+            quantiles=self.sketch.values(),
+        )
+
+
+class MetricStore:
+    """Named metric series, created lazily on first append."""
+
+    def __init__(
+        self,
+        *,
+        capacity: int = DEFAULT_CAPACITY,
+        ewma_alpha: float = DEFAULT_EWMA_ALPHA,
+    ) -> None:
+        self.capacity = capacity
+        self.ewma_alpha = ewma_alpha
+        self._series: dict[str, MetricSeries] = {}
+
+    def series(self, name: str) -> MetricSeries:
+        s = self._series.get(name)
+        if s is None:
+            s = MetricSeries(name, capacity=self.capacity, ewma_alpha=self.ewma_alpha)
+            self._series[name] = s
+        return s
+
+    def append(self, name: str, time: float, value: float) -> None:
+        self.series(name).append(time, value)
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def window(
+        self, name: str, t0: float | None = None, t1: float | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if name not in self._series:
+            return np.empty(0), np.empty(0)
+        return self._series[name].window(t0, t1)
+
+    def latest(self, name: str) -> tuple[float, float] | None:
+        s = self._series.get(name)
+        return s.latest() if s else None
+
+    def summary(self, name: str) -> MetricSummary:
+        if name not in self._series:
+            raise KeyError(f"unknown metric {name!r}; have {self.names()}")
+        return self._series[name].summary()

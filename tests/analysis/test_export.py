@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.analysis.export import (
     dataset_summary,
@@ -42,7 +41,7 @@ class TestTableCsv:
 class TestDatasetSummary:
     def test_structure(self, small_dataset):
         s = dataset_summary(small_dataset)
-        assert set(s) == {"config", "campaign", "headlines"}
+        assert set(s) == {"config", "campaign", "telemetry", "headlines"}
         assert s["config"]["n_days"] == small_dataset.config.n_days
         assert s["campaign"]["jobs_accounted"] == len(small_dataset.accounting)
         assert s["campaign"]["daily_gflops_mean"] > 0

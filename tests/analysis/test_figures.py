@@ -1,7 +1,6 @@
 """Figures 1-5: series structure and the paper's shapes."""
 
 import numpy as np
-import pytest
 
 from repro.analysis.figures import figure1, figure2, figure3, figure4, figure5
 

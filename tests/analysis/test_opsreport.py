@@ -1,6 +1,5 @@
 """Daily operations reports."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.opsreport import campaign_ops_digest, day_ops, render_day_report

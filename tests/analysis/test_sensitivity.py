@@ -1,9 +1,7 @@
 """Sensitivity harness plumbing (the sweeps themselves run in
 benchmarks/bench_sensitivity.py — they are campaign-sized)."""
 
-import dataclasses
 
-import numpy as np
 import pytest
 
 from repro.analysis.sensitivity import (

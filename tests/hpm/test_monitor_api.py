@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hpm.events import NAS_SELECTION, CounterGroup, EventCatalog
+from repro.hpm.events import NAS_SELECTION, CounterGroup
 from repro.hpm.monitor_api import MonitorInterface, MultipassSampler
 from repro.power2.counters import rates_vector
 from repro.power2.node import Node

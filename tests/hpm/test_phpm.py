@@ -1,6 +1,5 @@
 """PHPM parallel job reports."""
 
-import numpy as np
 import pytest
 
 from repro.hpm.phpm import ParallelJobReport

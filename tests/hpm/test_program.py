@@ -4,7 +4,7 @@ import pytest
 
 from repro.hpm.program import ProgramMonitor
 from repro.power2.node import Node, PhaseKind, WorkPhase
-from repro.power2.pipeline import CycleModel, DependencyProfile, MemoryBehaviour
+from repro.power2.pipeline import CycleModel
 from repro.workload.kernels import kernel
 
 

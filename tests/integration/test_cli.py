@@ -1,6 +1,5 @@
 """The sp2-study command-line interface."""
 
-import pytest
 
 from repro.cli import build_parser, main
 
@@ -57,3 +56,37 @@ class TestJsonExport:
         data = json.loads(out.read_text())
         assert data["config"]["n_nodes"] == 16
         assert "headlines" in data
+
+    def test_json_includes_telemetry_alert_counts(self, tmp_path, capsys):
+        out = tmp_path / "summary.json"
+        rc = main(
+            ["--days", "2", "--nodes", "16", "--users", "4", "--json", str(out)]
+        )
+        assert rc == 0
+        import json
+
+        tele = json.loads(out.read_text())["telemetry"]
+        assert tele is not None
+        assert tele["samples_seen"] == 2 * 96 + 1
+        for key in ("alerts_total", "alerts_by_rule", "alerts_suppressed"):
+            assert key in tele
+
+
+class TestEmptyCampaignExit:
+    def test_zero_finished_jobs_exits_nonzero(self, capsys, monkeypatch):
+        """A silently-empty campaign must not look like a success."""
+        import dataclasses
+
+        import repro.cli
+        from repro.pbs.accounting import AccountingLog
+
+        real = repro.cli.run_study
+
+        def empty_run(*args, **kwargs):
+            dataset = real(*args, **kwargs)
+            return dataclasses.replace(dataset, accounting=AccountingLog())
+
+        monkeypatch.setattr(repro.cli, "run_study", empty_run)
+        rc = main(["--days", "2", "--nodes", "16", "--users", "4"])
+        assert rc == 1
+        assert "zero jobs" in capsys.readouterr().err

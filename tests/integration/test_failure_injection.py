@@ -8,7 +8,6 @@ still produces consistent artefacts.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.study import StudyConfig, WorkloadStudy
 from repro.workload.traces import generate_trace

@@ -1,0 +1,106 @@
+"""The sp2-ops live-operations CLI."""
+
+import pytest
+
+from repro.ops_cli import build_parser, main
+
+SMALL = ["--days", "2", "--nodes", "32", "--users", "8", "--seed", "5"]
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        p = build_parser()
+        for argv in (
+            ["alerts"],
+            ["tail", "--limit", "5"],
+            ["query", "--metric", "gflops.system"],
+            ["jobs", "--top", "3"],
+        ):
+            args = p.parse_args(argv + SMALL)
+            assert args.days == 2 and args.seed == 5
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestAlerts:
+    def test_alerts_run(self, capsys):
+        rc = main(["alerts"] + SMALL)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "intervals watched" in out
+
+    def test_acceptance_invocation_detects_paging(self, capsys):
+        """The CI smoke invocation: a 3-day seed-1 campaign includes a
+        high-paging day and the online rule must catch it."""
+        rc = main(["alerts", "--days", "3", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "paging" in out
+        assert "likely paging" in out
+
+    def test_rule_filter(self, capsys):
+        rc = main(["alerts", "--rule", "paging"] + SMALL)
+        assert rc == 0
+        out = capsys.readouterr().out
+        for line in out.splitlines():
+            if line.startswith("d") and "paging" not in line:
+                pytest.fail(f"non-paging alert leaked through filter: {line}")
+
+
+class TestTail:
+    def test_tail_renders_feed(self, capsys):
+        rc = main(["tail", "--limit", "10"] + SMALL)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "GFLOPS" in out and "SYS/USR" in out
+        assert "10 of" in out
+
+    def test_tail_all_intervals(self, capsys):
+        rc = main(["tail", "--limit", "0"] + SMALL)
+        assert rc == 0
+        # 2 days of 15-minute samples = 192 intervals.
+        assert "192 of 192 intervals" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_query_known_metric(self, capsys):
+        rc = main(["query", "--metric", "tlb.miss_rate"] + SMALL)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "quantiles" in out and "ewma" in out
+
+    def test_query_with_window_and_plot(self, capsys):
+        rc = main(
+            ["query", "--metric", "gflops.system", "--day-from", "0", "--day-to", "0", "--plot"]
+            + SMALL
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        # One day of 15-minute intervals, minus the boundary interval
+        # ending exactly at midnight (half-open window).
+        assert "95 in window" in out
+
+    def test_query_unknown_metric_fails(self, capsys):
+        rc = main(["query", "--metric", "bogus"] + SMALL)
+        assert rc == 2
+        assert "unknown metric" in capsys.readouterr().err
+
+
+class TestJobs:
+    def test_jobs_table(self, capsys):
+        rc = main(["jobs", "--top", "5"] + SMALL)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MFLOPS" in out
+        assert "finished jobs shown" in out
+
+    def test_jobs_user_filter(self, capsys):
+        rc = main(["jobs", "--user", "1", "--top", "0"] + SMALL)
+        assert rc == 0
+        out = capsys.readouterr().out
+        for line in out.splitlines():
+            cols = line.split()
+            if cols and cols[0].isdigit():
+                assert cols[2] == "1"

@@ -6,7 +6,7 @@ import pytest
 from repro.cluster.machine import SP2Machine
 from repro.pbs.scheduler import PBSServer, apply_paging_to_rates
 from repro.power2.config import POWER2_590
-from repro.power2.counters import BANK_SIZE, counter_index, rates_vector
+from repro.power2.counters import counter_index, rates_vector
 from repro.sim.engine import Simulator
 
 

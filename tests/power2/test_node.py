@@ -1,6 +1,5 @@
 """Node model: phases, paging physics, rate fast path."""
 
-import numpy as np
 import pytest
 
 from repro.power2.config import POWER2_590

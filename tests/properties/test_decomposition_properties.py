@@ -1,7 +1,5 @@
 """Property tests: domain decomposition invariants (§4's machinery)."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Property tests: PBS never oversubscribes, conserves jobs, keeps time."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,166 @@
+"""Anomaly rules on synthetic counter traces."""
+
+import pytest
+
+from repro.hpm.derived import workload_rates
+from repro.telemetry.rules import (
+    AnomalyEngine,
+    FpuImbalanceRule,
+    NodeGapRule,
+    Observation,
+    PagingRule,
+    TlbSpikeRule,
+    render_alert,
+)
+
+INTERVAL = 900.0
+
+
+def obs(
+    time: float,
+    *,
+    user_fxu_mips: float = 10.0,
+    system_fxu_mips: float = 0.5,
+    tlb_mips: float = 0.02,
+    fpu0_mips: float = 1.7,
+    fpu1_mips: float = 1.0,
+    missing: tuple[int, ...] = (),
+) -> Observation:
+    """One synthetic 15-minute interval with the given per-node rates."""
+    scale = INTERVAL * 1e6  # Mips/node -> counts on one node
+    deltas = {
+        "user.fxu0": user_fxu_mips * scale / 2,
+        "user.fxu1": user_fxu_mips * scale / 2,
+        "system.fxu0": system_fxu_mips * scale / 2,
+        "system.fxu1": system_fxu_mips * scale / 2,
+        "user.tlb_mis": tlb_mips * scale,
+        "user.fpu0": fpu0_mips * scale,
+        "user.fpu1": fpu1_mips * scale,
+    }
+    rates = workload_rates(deltas, INTERVAL, 1)
+    return Observation(time=time, rates=rates, nodes_reporting=1, missing=missing)
+
+
+class TestPagingRule:
+    def test_fires_on_system_exceeding_user(self):
+        rule = PagingRule()
+        found = list(rule.evaluate(obs(0.0, user_fxu_mips=10.0, system_fxu_mips=12.0)))
+        assert len(found) == 1
+        assert "paging" in found[0][1]
+
+    def test_quiet_on_healthy_ratio(self):
+        rule = PagingRule()
+        assert not list(rule.evaluate(obs(0.0, user_fxu_mips=10.0, system_fxu_mips=1.0)))
+
+    def test_idle_interval_does_not_false_fire(self):
+        """Near-idle: ratio is huge but user work is negligible — the
+        activity floor must keep the rule quiet."""
+        rule = PagingRule()
+        assert not list(
+            rule.evaluate(obs(0.0, user_fxu_mips=0.05, system_fxu_mips=0.4))
+        )
+
+    def test_cooldown_dedups_repeat_findings(self):
+        engine = AnomalyEngine(rules=[PagingRule(cooldown=2 * 3600.0)])
+        pathological = dict(user_fxu_mips=10.0, system_fxu_mips=12.0)
+        first = engine.observe(obs(0.0, **pathological))
+        second = engine.observe(obs(INTERVAL, **pathological))
+        third = engine.observe(obs(3 * 3600.0, **pathological))
+        assert len(first) == 1 and len(second) == 0 and len(third) == 1
+        assert engine.suppressed == 1
+        assert len(engine.alerts) == 2
+
+    def test_synthetic_paging_trace_fires_once_per_episode(self):
+        """A day-long trace: clean morning, paging afternoon."""
+        engine = AnomalyEngine(rules=[PagingRule()])
+        for i in range(96):
+            paging = 48 <= i < 72
+            engine.observe(
+                obs(
+                    i * INTERVAL,
+                    user_fxu_mips=10.0,
+                    system_fxu_mips=15.0 if paging else 0.3,
+                )
+            )
+        times = [a.time for a in engine.alerts]
+        assert times  # detected online
+        assert min(times) == 48 * INTERVAL  # the first pathological interval
+        assert all(48 * INTERVAL <= t < 72 * INTERVAL for t in times)
+
+
+class TestFpuImbalanceRule:
+    def test_quiet_on_healthy_ratio(self):
+        rule = FpuImbalanceRule()
+        assert not list(rule.evaluate(obs(0.0, fpu0_mips=1.7, fpu1_mips=1.0)))
+
+    def test_fires_on_starved_unit1(self):
+        rule = FpuImbalanceRule()
+        found = list(rule.evaluate(obs(0.0, fpu0_mips=5.0, fpu1_mips=0.5)))
+        assert len(found) == 1
+
+    def test_quiet_when_fp_idle(self):
+        rule = FpuImbalanceRule()
+        assert not list(rule.evaluate(obs(0.0, fpu0_mips=0.01, fpu1_mips=0.001)))
+
+
+class TestTlbSpikeRule:
+    def test_fires_on_spike_after_warmup(self):
+        rule = TlbSpikeRule(warmup=8)
+        fired = []
+        for i in range(32):
+            tlb = 0.5 if i == 30 else 0.02
+            fired.extend(rule.evaluate(obs(i * INTERVAL, tlb_mips=tlb)))
+        assert len(fired) == 1
+        assert fired[0][2] == pytest.approx(0.5, rel=1e-6)
+
+    def test_no_fire_during_warmup(self):
+        rule = TlbSpikeRule(warmup=8)
+        fired = []
+        for i in range(4):
+            fired.extend(rule.evaluate(obs(i * INTERVAL, tlb_mips=1.0)))
+        assert not fired
+
+    def test_idle_intervals_do_not_reset_baseline(self):
+        """An overnight lull (no user work) must not make the morning's
+        normal rate look like a spike."""
+        rule = TlbSpikeRule(warmup=8)
+        for i in range(32):
+            rule.evaluate(obs(i * INTERVAL, tlb_mips=0.02))
+        for i in range(32, 64):  # idle night
+            assert not list(
+                rule.evaluate(obs(i * INTERVAL, user_fxu_mips=0.0, tlb_mips=0.0))
+            )
+        back = list(rule.evaluate(obs(64 * INTERVAL, tlb_mips=0.02)))
+        assert not back
+
+
+class TestNodeGapRule:
+    def test_alerts_on_down_transition_only(self):
+        engine = AnomalyEngine(rules=[NodeGapRule()])
+        engine.observe(obs(0.0))
+        first = engine.observe(obs(INTERVAL, missing=(3, 7)))
+        steady = engine.observe(obs(2 * INTERVAL, missing=(3, 7)))
+        assert sorted(a.key for a in first) == ["node-3", "node-7"]
+        assert steady == []
+
+    def test_recovery_notice(self):
+        engine = AnomalyEngine(rules=[NodeGapRule()])
+        engine.observe(obs(0.0, missing=(3,)))
+        recovered = engine.observe(obs(INTERVAL))
+        assert [a.key for a in recovered] == ["node-3-up"]
+        assert recovered[0].message.endswith("reachable again")
+
+
+class TestEngineBookkeeping:
+    def test_counts_by_rule(self):
+        engine = AnomalyEngine(rules=[PagingRule(), NodeGapRule()])
+        engine.observe(obs(0.0, system_fxu_mips=15.0, missing=(1,)))
+        assert engine.counts_by_rule() == {"paging": 1, "node-gap": 1}
+        assert [a.rule for a in engine.alerts_for("paging")] == ["paging"]
+
+    def test_render_alert_format(self):
+        engine = AnomalyEngine(rules=[PagingRule()])
+        (alert,) = engine.observe(obs(90000.0, system_fxu_mips=15.0))
+        line = render_alert(alert)
+        assert line.startswith("d001 01:00")
+        assert "critical" in line and "paging" in line

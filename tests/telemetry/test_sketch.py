@@ -1,0 +1,78 @@
+"""P² streaming quantiles vs exact ``numpy.percentile``."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.sketch import P2Quantile, QuantileSet
+
+
+def _stream(dist: str, n: int, seed: int = 42) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    if dist == "uniform":
+        return rng.uniform(0.0, 10.0, n)
+    if dist == "normal":
+        return rng.normal(5.0, 2.0, n)
+    if dist == "exponential":
+        return rng.exponential(3.0, n)
+    raise ValueError(dist)
+
+
+class TestP2Quantile:
+    @pytest.mark.parametrize("dist", ["uniform", "normal", "exponential"])
+    @pytest.mark.parametrize("p", [0.5, 0.9, 0.99])
+    def test_tracks_known_distributions(self, dist, p):
+        data = _stream(dist, 5000)
+        sketch = P2Quantile(p)
+        for x in data:
+            sketch.add(x)
+        exact = np.percentile(data, p * 100.0)
+        spread = np.percentile(data, 97.5) - np.percentile(data, 2.5)
+        assert sketch.value() == pytest.approx(exact, abs=0.05 * spread)
+
+    def test_small_stream_is_exact_percentile(self):
+        sketch = P2Quantile(0.5)
+        for x in (5.0, 1.0, 3.0):
+            sketch.add(x)
+        assert sketch.value() == pytest.approx(3.0)
+
+    def test_empty_reads_zero(self):
+        assert P2Quantile(0.9).value() == 0.0
+
+    def test_estimate_brackets_extremes(self):
+        data = _stream("normal", 2000)
+        sketch = P2Quantile(0.5)
+        for x in data:
+            sketch.add(x)
+        assert data.min() <= sketch.value() <= data.max()
+
+    def test_invalid_quantile_rejected(self):
+        for p in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                P2Quantile(p)
+
+    def test_constant_stream(self):
+        sketch = P2Quantile(0.99)
+        for _ in range(100):
+            sketch.add(7.0)
+        assert sketch.value() == pytest.approx(7.0)
+
+    def test_count_tracks_stream(self):
+        sketch = P2Quantile(0.5)
+        for i in range(37):
+            sketch.add(float(i))
+        assert sketch.count == 37
+
+
+class TestQuantileSet:
+    def test_values_ordered(self):
+        qs = QuantileSet((0.5, 0.9, 0.99))
+        for x in _stream("uniform", 3000):
+            qs.add(x)
+        vals = qs.values()
+        assert vals[0.5] < vals[0.9] < vals[0.99]
+
+    def test_getitem(self):
+        qs = QuantileSet((0.5,))
+        for x in range(100):
+            qs.add(float(x))
+        assert qs[0.5] == pytest.approx(49.5, abs=2.0)

@@ -1,6 +1,5 @@
 """Domain decomposition: partitioning and neighbour invariants."""
 
-import numpy as np
 import pytest
 
 from repro.workload.decomposition import Decomposition, factor3

@@ -1,6 +1,5 @@
 """Job profiles: rates from kernel + parallel structure."""
 
-import numpy as np
 import pytest
 
 from repro.power2.counters import BANK_SIZE, counter_index
