@@ -68,6 +68,8 @@ def dataset_summary(dataset: StudyDataset) -> dict[str, Any]:
             "n_users": dataset.config.n_users,
         },
         "campaign": {
+            "seed": dataset.config.seed,
+            "events_processed": dataset.events_processed,
             "jobs_accounted": len(acct),
             "daily_gflops_mean": float(daily.mean()) if daily.size else 0.0,
             "daily_gflops_max": float(daily.max()) if daily.size else 0.0,

@@ -14,8 +14,12 @@ DMA transfer counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.cluster.switch import HighPerformanceSwitch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tracing.tracer import Tracer
 
 
 @dataclass
@@ -53,6 +57,7 @@ class NFSFilesystem:
         *,
         n_servers: int = 3,
         capacity_bytes: float = 8e9,
+        tracer: "Tracer | None" = None,
     ) -> None:
         if n_servers <= 0:
             raise ValueError("need at least one file server")
@@ -62,6 +67,19 @@ class NFSFilesystem:
             for i in range(n_servers)
         ]
         self._rr = 0
+        #: Span tracer; each transfer is recorded with its modeled time.
+        self.tracer = tracer
+
+    def _trace_io(
+        self, op: str, owner: int, nbytes: float, server: FileServer, seconds: float
+    ) -> None:
+        if self.tracer is None or not self.tracer.enabled:
+            return
+        from repro.tracing.span import CAT_FS
+
+        self.tracer.record(
+            op, CAT_FS, duration=seconds, owner=owner, bytes=nbytes, server=server.name
+        )
 
     def server_for(self, owner: int) -> FileServer:
         """Home filesystems were assigned per user; hash by owner id."""
@@ -82,13 +100,17 @@ class NFSFilesystem:
         """A node reads from its home filesystem; returns wall seconds."""
         server = self.server_for(owner)
         server.bytes_read += nbytes
-        return self.transfer_seconds(nbytes, server)
+        seconds = self.transfer_seconds(nbytes, server)
+        self._trace_io("read", owner, nbytes, server, seconds)
+        return seconds
 
     def write(self, owner: int, nbytes: float) -> float:
         """A node writes to its home filesystem; returns wall seconds."""
         server = self.server_for(owner)
         server.bytes_written += nbytes
-        return self.transfer_seconds(nbytes, server)
+        seconds = self.transfer_seconds(nbytes, server)
+        self._trace_io("write", owner, nbytes, server, seconds)
+        return seconds
 
     @property
     def total_bytes_moved(self) -> float:

@@ -19,8 +19,12 @@ latency/bandwidth cost model:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.power2.config import SP2_SWITCH, SwitchConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tracing.tracer import Tracer
 
 
 @dataclass(frozen=True)
@@ -39,11 +43,19 @@ class MessageCost:
 class HighPerformanceSwitch:
     """Latency/bandwidth cost model of the SP2 switch fabric."""
 
-    def __init__(self, config: SwitchConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: SwitchConfig | None = None,
+        *,
+        tracer: "Tracer | None" = None,
+    ) -> None:
         self.config = config or SP2_SWITCH
         #: Total bytes ever carried (for utilization reporting).
         self.bytes_carried = 0.0
         self.messages_carried = 0
+        #: Span tracer; each accounted message/exchange is recorded with
+        #: its modeled duration.
+        self.tracer = tracer
 
     def message_seconds(self, nbytes: float) -> float:
         """Time for one point-to-point message."""
@@ -56,6 +68,10 @@ class HighPerformanceSwitch:
         t = self.message_seconds(nbytes)
         self.bytes_carried += nbytes
         self.messages_carried += 1
+        if self.tracer is not None and self.tracer.enabled:
+            from repro.tracing.span import CAT_SWITCH
+
+            self.tracer.record("send", CAT_SWITCH, duration=t, bytes=nbytes)
         return MessageCost(seconds=t, bytes_sent=nbytes, bytes_received=0.0)
 
     def exchange(
@@ -89,6 +105,17 @@ class HighPerformanceSwitch:
         total = nbytes_per_neighbor * n_neighbors
         self.bytes_carried += 2.0 * total  # sent and received
         self.messages_carried += 2 * n_neighbors
+        if self.tracer is not None and self.tracer.enabled:
+            from repro.tracing.span import CAT_SWITCH
+
+            self.tracer.record(
+                "exchange",
+                CAT_SWITCH,
+                duration=seconds,
+                neighbors=n_neighbors,
+                bytes=2.0 * total,
+                asynchronous=asynchronous,
+            )
         return MessageCost(seconds=seconds, bytes_sent=total, bytes_received=total)
 
     def aggregate_bandwidth(self, n_nodes: int) -> float:

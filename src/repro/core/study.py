@@ -24,6 +24,7 @@ from repro.pbs.scheduler import PBSServer
 from repro.sim.engine import Simulator
 from repro.telemetry.bus import EventBus
 from repro.telemetry.service import TelemetryService
+from repro.tracing.tracer import Tracer
 from repro.workload.traces import SECONDS_PER_DAY, CampaignTrace, generate_trace
 
 
@@ -58,6 +59,11 @@ class StudyDataset:
     #: The streaming observability view built while the campaign ran
     #: (None for datasets assembled outside :class:`WorkloadStudy`).
     telemetry: TelemetryService | None = None
+    #: Simulator events dispatched during the campaign (attribution /
+    #: truncation forensics; 0 for hand-assembled datasets).
+    events_processed: int = 0
+    #: The span tracer the campaign ran with (None = tracing off).
+    tracer: Tracer | None = None
 
     # ------------------------------------------------------------------
     # Day-level series (the paper's Figure 1 axes)
@@ -128,7 +134,9 @@ class StudyDataset:
 class WorkloadStudy:
     """Wires machine, PBS, collector and trace together and runs them."""
 
-    def __init__(self, config: StudyConfig | None = None) -> None:
+    def __init__(
+        self, config: StudyConfig | None = None, *, tracer: Tracer | None = None
+    ) -> None:
         self.config = config or StudyConfig()
         self.sim = Simulator()
         self.machine = SP2Machine(self.config.n_nodes, self.config.machine_config)
@@ -136,11 +144,26 @@ class WorkloadStudy:
         # telemetry service consumes — the streaming counterpart of §3's
         # "stores this data for later analysis".
         self.bus = EventBus()
-        self.telemetry = TelemetryService(bus=self.bus)
-        self.pbs = PBSServer(self.sim, self.machine, bus=self.bus)
+        # One tracer per campaign (optional): bound to the simulation
+        # clock and threaded through every instrumented layer, spans
+        # republished on the bus.
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind_clock(lambda: self.sim.now)
+            if tracer.bus is None:
+                tracer.bus = self.bus
+        self.sim.tracer = tracer
+        self.sim.bus = self.bus
+        self.telemetry = TelemetryService(bus=self.bus, tracer=tracer)
+        self.pbs = PBSServer(self.sim, self.machine, bus=self.bus, tracer=tracer)
+        self.machine.switch.tracer = tracer
+        self.machine.filesystem.tracer = tracer
         self.daemons = [NodeDaemon.for_node(n) for n in self.machine.nodes]
         self.collector = SystemCollector(
-            self.daemons, interval=self.config.sample_interval, bus=self.bus
+            self.daemons,
+            interval=self.config.sample_interval,
+            bus=self.bus,
+            tracer=tracer,
         )
         self._utilization_probes: list[tuple[float, int]] = []
 
@@ -179,7 +202,19 @@ class WorkloadStudy:
                 name=f"submit-{sub.app_name}",
             )
 
-        self.sim.run(until=trace.horizon_seconds)
+        if self.tracer is not None and self.tracer.enabled:
+            from repro.tracing.span import CAT_CAMPAIGN
+
+            with self.tracer.span(
+                "campaign",
+                CAT_CAMPAIGN,
+                seed=cfg.seed,
+                days=cfg.n_days,
+                nodes=cfg.n_nodes,
+            ):
+                self.sim.run(until=trace.horizon_seconds)
+        else:
+            self.sim.run(until=trace.horizon_seconds)
 
         # Final sync so trailing partial intervals are consistent.
         for node in self.machine.nodes:
@@ -192,6 +227,8 @@ class WorkloadStudy:
             accounting=self.pbs.accounting,
             utilization_probes=self._utilization_probes,
             telemetry=self.telemetry,
+            events_processed=self.sim.events_processed,
+            tracer=self.tracer,
         )
 
 

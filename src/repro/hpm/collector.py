@@ -27,6 +27,7 @@ from repro.sim.periodic import PeriodicTask
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.telemetry.bus import EventBus
+    from repro.tracing.tracer import Tracer
 
 #: The paper's sampling cadence.
 SAMPLE_INTERVAL_SECONDS = 15 * 60.0
@@ -111,12 +112,17 @@ class SystemCollector:
         *,
         interval: float = SAMPLE_INTERVAL_SECONDS,
         bus: "EventBus | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         if not daemons:
             raise ValueError("collector needs at least one node daemon")
         self.daemons = daemons
         self.interval = interval
         self.bus = bus
+        #: Span tracer; each cron pass becomes one span on the machine
+        #: timeline (sample publication happens inside it, so alerts
+        #: fired from the sample carry this span's id).
+        self.tracer = tracer
         self.samples: list[SystemSample] = []
         self._intervals_cache: list[IntervalCounts] | None = None
         #: Nodes unreachable as of the latest pass (transition tracking
@@ -130,6 +136,17 @@ class SystemCollector:
 
     def collect(self, now: float) -> SystemSample:
         """One cron pass over all node daemons."""
+        if self.tracer is None or not self.tracer.enabled:
+            return self._collect(now)
+        from repro.tracing.span import CAT_HPM
+
+        with self.tracer.span("cron-pass", CAT_HPM) as span:
+            sample = self._collect(now)
+            span.args["nodes"] = len(sample.node_ids)
+            span.args["missing"] = len(sample.missing)
+        return sample
+
+    def _collect(self, now: float) -> SystemSample:
         matrix = np.empty((len(self.daemons), len(FLAT_NAMES)), dtype=np.int64)
         ids: list[int] = []
         missing: list[int] = []

@@ -41,6 +41,8 @@ from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.telemetry.bus import EventBus
+    from repro.tracing.span import Span
+    from repro.tracing.tracer import Tracer
 
 
 def apply_paging_to_rates(
@@ -76,6 +78,38 @@ def apply_paging_to_rates(
     return user_rates * remain, system_rates + fault_rates, remain
 
 
+def phase_segments(
+    profile, config: MachineConfig, wall_seconds: float
+) -> list[tuple[str, float]]:
+    """Attribute a job's wall time to compute / switch-wait / io / paging.
+
+    The campaign fast path homogenizes a job into steady counter rates,
+    so the per-phase structure is reconstructed from the profile's
+    fraction diagnostics plus the same paging physics PBS applied at
+    start: the stolen fraction of wall time is paging, the remainder is
+    split by the profile's compute/comm/io fractions.  Profiles without
+    fraction diagnostics attribute everything to compute.
+    """
+    paging = compute_paging_state(
+        profile.memory_bytes_per_node, config.memory_bytes, config
+    )
+    stolen = paging.stolen_fraction
+    active = wall_seconds * (1.0 - stolen)
+    compute = getattr(profile, "compute_fraction", 1.0)
+    comm = getattr(profile, "comm_fraction", 0.0)
+    io = getattr(profile, "io_fraction", 0.0)
+    norm = compute + comm + io
+    if norm <= 0:
+        compute, norm = 1.0, 1.0
+    segments = [
+        ("compute", active * compute / norm),
+        ("switch-wait", active * comm / norm),
+        ("io", active * io / norm),
+        ("paging", wall_seconds * stolen),
+    ]
+    return [(name, seconds) for name, seconds in segments if seconds > 0.0]
+
+
 class PBSServer:
     """Job manager for one :class:`~repro.cluster.machine.SP2Machine`."""
 
@@ -87,6 +121,7 @@ class PBSServer:
         queue: JobQueue | None = None,
         accounting: AccountingLog | None = None,
         bus: "EventBus | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.sim = sim
         self.machine = machine
@@ -95,7 +130,12 @@ class PBSServer:
         self.accounting = accounting if accounting is not None else AccountingLog()
         #: Telemetry event bus; job lifecycle events are published here.
         self.bus = bus
+        #: Span tracer; each job grows one span tree (root at submit,
+        #: queued/running states, phase attribution at epilogue).
+        self.tracer = tracer
         self.running: dict[int, tuple[JobSpec, int, tuple[int, ...], float, dict]] = {}
+        #: Open (root, state) spans per traced job id.
+        self._job_spans: dict[int, tuple["Span", "Span"]] = {}
         self._next_job_id = 1
         #: Optional observer called with each finished JobRecord.
         self.on_job_end: Callable[[JobRecord], None] | None = None
@@ -121,6 +161,22 @@ class PBSServer:
         )
         self._next_job_id += 1
         self.queue.submit(job)
+        if self.tracer is not None and self.tracer.enabled:
+            from repro.tracing.span import CAT_JOB, CAT_JOB_STATE
+
+            # One tree per job: the root is deliberately unparented so a
+            # job's whole life is a self-contained trace process.
+            root = self.tracer.begin(
+                f"job-{job.job_id}",
+                CAT_JOB,
+                parent=None,
+                job_id=job.job_id,
+                user=user,
+                app=app_name,
+                nodes=nodes,
+            )
+            queued = self.tracer.begin("queued", CAT_JOB_STATE, parent=root)
+            self._job_spans[job.job_id] = (root, queued)
         self.schedule_pass()
         return job
 
@@ -129,6 +185,17 @@ class PBSServer:
     # ------------------------------------------------------------------
     def schedule_pass(self) -> int:
         """Start every job the policy allows; returns how many started."""
+        if self.tracer is None or not self.tracer.enabled:
+            return self._schedule_pass()
+        from repro.tracing.span import CAT_SCHED
+
+        with self.tracer.span("schedule-pass", CAT_SCHED) as span:
+            started = self._schedule_pass()
+            span.args["started"] = started
+            span.args["queued"] = len(self.queue)
+        return started
+
+    def _schedule_pass(self) -> int:
         started = 0
         while True:
             job = self.queue.pop_startable(self.machine.n_free)
@@ -161,6 +228,18 @@ class PBSServer:
             )
 
         self.running[job.job_id] = (job, alloc_id, node_ids, now, prologue)
+        if job.job_id in self._job_spans:
+            from repro.tracing.span import CAT_JOB_SNAPSHOT, CAT_JOB_STATE
+
+            root, queued = self._job_spans[job.job_id]
+            self.tracer.finish(queued, end=now)
+            running_span = self.tracer.begin(
+                "running", CAT_JOB_STATE, parent=root, node_ids=list(node_ids)
+            )
+            self.tracer.record(
+                "prologue", CAT_JOB_SNAPSHOT, parent=running_span, nodes=len(node_ids)
+            )
+            self._job_spans[job.job_id] = (root, running_span)
         if self.bus is not None:
             from repro.telemetry.bus import TOPIC_JOB_START, JobStarted
 
@@ -208,6 +287,30 @@ class PBSServer:
             counter_deltas=deltas,
         )
         self.accounting.append(record)
+        if job_id in self._job_spans:
+            from repro.tracing.span import CAT_JOB_PHASE, CAT_JOB_SNAPSHOT
+
+            root, running_span = self._job_spans.pop(job_id)
+            # Synthesize the wall-time attribution segments the critical
+            # path analyzer consumes, laid end-to-end under `running`.
+            cursor = start_time
+            for name, seconds in phase_segments(
+                job.profile, self.machine.config, now - start_time
+            ):
+                self.tracer.record(
+                    name,
+                    CAT_JOB_PHASE,
+                    parent=running_span,
+                    start=cursor,
+                    duration=seconds,
+                )
+                cursor += seconds
+            self.tracer.record(
+                "epilogue", CAT_JOB_SNAPSHOT, parent=running_span, nodes=len(node_ids)
+            )
+            self.tracer.finish(running_span, end=now)
+            root.args["mflops"] = round(record.total_mflops, 3)
+            self.tracer.finish(root, end=now)
         if self.bus is not None:
             from repro.telemetry.bus import TOPIC_JOB_END, JobEnded
 

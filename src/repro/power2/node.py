@@ -170,6 +170,9 @@ class Node:
             self.config.paging_onset if paging_onset is None else paging_onset
         )
         self._memory_used = 0.0
+        #: Optional span tracer (phase-execution path): each executed
+        #: phase is recorded on the node's own wall-time axis.
+        self.tracer = None
         #: Total simulated wall seconds this node has accounted.
         self.wall_seconds = 0.0
         self.busy_seconds = 0.0
@@ -219,6 +222,23 @@ class Node:
     # Phase execution
     # ------------------------------------------------------------------
     def run_phase(self, phase: WorkPhase) -> PhaseResult:
+        start = self.wall_seconds
+        result = self._dispatch_phase(phase)
+        if self.tracer is not None and self.tracer.enabled:
+            from repro.tracing.span import CAT_NODE_PHASE
+
+            self.tracer.record(
+                phase.kind.value,
+                CAT_NODE_PHASE,
+                start=start,
+                duration=result.wall_seconds,
+                node=self.node_id,
+                flops=result.user_flops,
+                faults=result.page_faults,
+            )
+        return result
+
+    def _dispatch_phase(self, phase: WorkPhase) -> PhaseResult:
         if phase.kind is PhaseKind.COMPUTE:
             if phase.execution is None:
                 raise ValueError("compute phase requires an ExecutionResult")

@@ -9,8 +9,13 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry.bus import EventBus
+    from repro.tracing.tracer import Tracer
 
 
 @dataclass(order=True)
@@ -57,6 +62,11 @@ class Simulator:
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self.events_processed = 0
+        #: Optional span tracer; each dispatched event becomes a span so
+        #: spans opened inside handlers nest under it (machine timeline).
+        self.tracer: "Tracer | None" = None
+        #: Optional telemetry bus for engine-level notices (truncation).
+        self.bus: "EventBus | None" = None
 
     @property
     def now(self) -> float:
@@ -122,7 +132,14 @@ class Simulator:
                 continue
             self.clock._advance(ev.time)
             self.events_processed += 1
-            ev.handler(self)
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                from repro.tracing.span import CAT_SIM_EVENT
+
+                with tracer.span(ev.name or "event", CAT_SIM_EVENT, seq=ev.seq):
+                    ev.handler(self)
+            else:
+                ev.handler(self)
             return True
         return False
 
@@ -133,8 +150,15 @@ class Simulator:
         clock is left at ``until`` (so periodic samplers scheduled on the
         horizon boundary are included, as the paper's final-day 15-minute
         sample would be).
+
+        Exhausting ``max_events`` with live events still queued (inside
+        the horizon) means the campaign was *truncated*, not finished —
+        a ``RuntimeWarning`` is issued and, when a telemetry bus is
+        attached, a ``sim.truncated`` event is published so downstream
+        artifacts can flag the run.
         """
         processed = 0
+        truncated_at: float | None = None
         while True:
             nxt = self.peek()
             if nxt is None:
@@ -142,8 +166,28 @@ class Simulator:
             if until is not None and nxt > until:
                 break
             if max_events is not None and processed >= max_events:
+                truncated_at = nxt
                 break
             self.step()
             processed += 1
+        if truncated_at is not None:
+            warnings.warn(
+                f"simulation truncated by max_events={max_events} at t={self.now:.0f}s "
+                f"with events still queued (next at t={truncated_at:.0f}s); "
+                "results cover a partial campaign",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            if self.bus is not None:
+                from repro.telemetry.bus import TOPIC_SIM_TRUNCATED, SimTruncated
+
+                self.bus.publish(
+                    TOPIC_SIM_TRUNCATED,
+                    SimTruncated(
+                        time=self.now,
+                        events_processed=self.events_processed,
+                        next_event_time=truncated_at,
+                    ),
+                )
         if until is not None and until > self.now:
             self.clock._advance(until)

@@ -34,8 +34,21 @@ TOPIC_JOB_END = "pbs.job_end"
 TOPIC_NODE_DOWN = "node.down"
 #: A node daemon answered again (payload: :class:`NodeStateChanged`).
 TOPIC_NODE_UP = "node.up"
+#: A tracing span finished (payload: :class:`SpanFinished`).
+TOPIC_SPAN = "trace.span"
+#: ``Simulator.run(max_events=...)`` stopped with events still queued
+#: (payload: :class:`SimTruncated`).
+TOPIC_SIM_TRUNCATED = "sim.truncated"
 
-TOPICS = (TOPIC_SAMPLE, TOPIC_JOB_START, TOPIC_JOB_END, TOPIC_NODE_DOWN, TOPIC_NODE_UP)
+TOPICS = (
+    TOPIC_SAMPLE,
+    TOPIC_JOB_START,
+    TOPIC_JOB_END,
+    TOPIC_NODE_DOWN,
+    TOPIC_NODE_UP,
+    TOPIC_SPAN,
+    TOPIC_SIM_TRUNCATED,
+)
 
 
 # ----------------------------------------------------------------------
@@ -77,6 +90,25 @@ class NodeStateChanged:
     time: float
     node_id: int
     up: bool
+
+
+@dataclass(frozen=True)
+class SpanFinished:
+    """A tracing span closed; ``span`` is the ``repro.tracing`` Span
+    (kept untyped: tracing must stay importable without telemetry)."""
+
+    time: float
+    span: Any
+
+
+@dataclass(frozen=True)
+class SimTruncated:
+    """An event-budgeted run stopped short of draining its queue."""
+
+    time: float
+    events_processed: int
+    #: Time of the next still-queued event (the work left behind).
+    next_event_time: float | None
 
 
 # ----------------------------------------------------------------------

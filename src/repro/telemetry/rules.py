@@ -22,7 +22,7 @@ a multi-hour paging episode produces a handful of alerts, not hundreds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.hpm.derived import DerivedRates
 
@@ -43,7 +43,14 @@ class Observation:
 
 @dataclass(frozen=True)
 class Alert:
-    """One fired anomaly."""
+    """One fired anomaly.
+
+    ``span_id`` references the tracing span the alert fired inside (the
+    15-minute collector pass, when the campaign ran with a tracer) —
+    the drill-down handle into the recorded trace.  Excluded from
+    equality so online-vs-replay comparisons hold whether or not a
+    tracer was attached.
+    """
 
     time: float
     rule: str
@@ -51,6 +58,7 @@ class Alert:
     key: str
     message: str
     value: float
+    span_id: str | None = field(default=None, compare=False)
 
 
 class Rule:
@@ -224,10 +232,15 @@ class AnomalyEngine:
     alerts: list[Alert] = field(default_factory=list)
     #: Findings swallowed by the cooldown window.
     suppressed: int = 0
+    #: Optional span tracer; fired alerts reference its current span.
+    tracer: Any = None
     _last_fire: dict[tuple[str, str], float] = field(default_factory=dict)
 
     def observe(self, obs: Observation) -> list[Alert]:
         """Run every rule; returns (and records) the alerts that fired."""
+        span_id = None
+        if self.tracer is not None and self.tracer.current is not None:
+            span_id = self.tracer.current.span_id
         fired: list[Alert] = []
         for rule in self.rules:
             for key, message, value in rule.evaluate(obs):
@@ -244,6 +257,7 @@ class AnomalyEngine:
                     key=key,
                     message=message,
                     value=value,
+                    span_id=span_id,
                 )
                 self.alerts.append(alert)
                 fired.append(alert)
@@ -263,9 +277,10 @@ def render_alert(alert: Alert, *, seconds_per_day: float = 86400.0) -> str:
     """One fixed-width operator line for an alert."""
     day, rem = divmod(alert.time, seconds_per_day)
     hh, mm = divmod(int(rem) // 60, 60)
+    span = f"  [span {alert.span_id}]" if alert.span_id else ""
     return (
         f"d{int(day):03d} {hh:02d}:{mm:02d}  {alert.severity:<8s} "
-        f"{alert.rule:<14s} {alert.key:<12s} {alert.message}"
+        f"{alert.rule:<14s} {alert.key:<12s} {alert.message}{span}"
     )
 
 

@@ -32,10 +32,14 @@ from repro.telemetry.bus import (
     TOPIC_JOB_END,
     TOPIC_JOB_START,
     TOPIC_SAMPLE,
+    TOPIC_SIM_TRUNCATED,
+    TOPIC_SPAN,
     EventBus,
     JobEnded,
     JobStarted,
     SampleTaken,
+    SimTruncated,
+    SpanFinished,
 )
 from repro.telemetry.rollup import RollupTable
 from repro.telemetry.rules import Alert, AnomalyEngine, Observation
@@ -67,17 +71,32 @@ class TelemetryService:
         store: MetricStore | None = None,
         engine: AnomalyEngine | None = None,
         rollups: RollupTable | None = None,
+        tracer=None,
     ) -> None:
         self.bus = bus if bus is not None else EventBus()
         self.store = store if store is not None else MetricStore()
         self.engine = engine if engine is not None else AnomalyEngine()
         self.rollups = rollups if rollups is not None else RollupTable()
+        # When a campaign traces, alerts carry the id of the collector
+        # span they fired inside (the drill-down handle, see
+        # docs/TRACING.md); the engine reads the tracer's current span.
+        if tracer is not None and self.engine.tracer is None:
+            self.engine.tracer = tracer
         self._prev_sample: SystemSample | None = None
         self.samples_seen = 0
         self.intervals_seen = 0
+        #: Tracing spans republished on the bus, counted by category.
+        self.spans_seen = 0
+        #: Job id → root span id for finished traced jobs.
+        self.job_span_ids: dict[int, str] = {}
+        #: ``sim.truncated`` notices (a non-empty list means the
+        #: campaign stopped on an event budget, not the horizon).
+        self.truncations: list[SimTruncated] = []
         self.bus.subscribe(TOPIC_SAMPLE, self._on_sample)
         self.bus.subscribe(TOPIC_JOB_START, self.rollups.on_start)
         self.bus.subscribe(TOPIC_JOB_END, self._on_job_end)
+        self.bus.subscribe(TOPIC_SPAN, self._on_span)
+        self.bus.subscribe(TOPIC_SIM_TRUNCATED, self.truncations.append)
 
     # ------------------------------------------------------------------
     # Bus handlers
@@ -96,6 +115,12 @@ class TelemetryService:
 
     def _on_job_end(self, ev: JobEnded) -> None:
         self.rollups.on_end(ev)
+
+    def _on_span(self, ev: SpanFinished) -> None:
+        self.spans_seen += 1
+        span = ev.span
+        if span.category == "pbs.job":
+            self.job_span_ids[int(span.args.get("job_id", 0))] = span.span_id
 
     def _record_interval(
         self,
@@ -147,6 +172,8 @@ class TelemetryService:
             "alerts_total": len(self.engine.alerts),
             "alerts_by_rule": self.alert_counts(),
             "alerts_suppressed": self.engine.suppressed,
+            "spans_seen": self.spans_seen,
+            "truncated": len(self.truncations) > 0,
         }
 
     # ------------------------------------------------------------------

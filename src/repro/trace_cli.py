@@ -1,0 +1,181 @@
+"""``sp2-trace`` — record and analyze span traces of a campaign.
+
+Where ``sp2-ops`` shows the streaming counters, ``sp2-trace`` is the
+drill-down: run a seeded campaign with the span tracer attached, save
+the trace, open it in Perfetto, and attribute each job's wall time to
+compute / switch wait / I/O / paging.
+
+Examples::
+
+    sp2-trace record --seed 42 --days 2 --nodes 16 --out trace.jsonl
+    sp2-trace export trace.jsonl --format chrome --out trace.json
+    sp2-trace critical-path trace.jsonl --job 7
+    sp2-trace summary trace.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.tracing import (
+    Tracer,
+    analyze_jobs,
+    machine_attribution,
+    read_jsonl,
+    render_critical_path,
+    render_trace_summary,
+    spans_to_chrome,
+    trace_summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.tracing.span import PHASE_KINDS
+
+
+def _add_campaign_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--seed", type=int, default=0, help="campaign seed (default 0)")
+    p.add_argument("--days", type=int, default=2, help="campaign length in days")
+    p.add_argument("--nodes", type=int, default=16, help="cluster size")
+    p.add_argument("--users", type=int, default=8, help="user population size")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+def cmd_record(args: argparse.Namespace) -> int:
+    from repro.core.study import StudyConfig, WorkloadStudy
+
+    tracer = Tracer()
+    cfg = StudyConfig(
+        seed=args.seed, n_days=args.days, n_nodes=args.nodes, n_users=args.users
+    )
+    t0 = time.time()
+    print(
+        f"Recording {args.days}-day campaign on {args.nodes} nodes "
+        f"(seed {args.seed}) with tracing on...",
+        file=sys.stderr,
+    )
+    WorkloadStudy(cfg, tracer=tracer).run()
+    print(f"Campaign done in {time.time() - t0:.1f}s.", file=sys.stderr)
+
+    out = write_jsonl(tracer.spans, args.out)
+    print(f"wrote {len(tracer.spans)} spans to {out}")
+    if args.chrome is not None:
+        chrome = write_chrome_trace(tracer.spans, args.chrome)
+        print(f"wrote Chrome trace to {chrome} (open in https://ui.perfetto.dev)")
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    spans = read_jsonl(args.trace)
+    if not spans:
+        print(f"error: {args.trace} holds no spans", file=sys.stderr)
+        return 1
+    if args.format == "chrome":
+        obj = spans_to_chrome(spans)
+        errors = validate_chrome_trace(obj)
+        if errors:
+            for err in errors[:10]:
+                print(f"error: {err}", file=sys.stderr)
+            return 1
+        out = pathlib.Path(args.out)
+        out.write_text(json.dumps(obj, sort_keys=True) + "\n")
+        print(
+            f"wrote {len(obj['traceEvents'])} trace events to {out} "
+            "(valid trace-event JSON; open in https://ui.perfetto.dev)"
+        )
+    else:  # jsonl re-serialization (normalizes ordering)
+        out = write_jsonl(spans, args.out)
+        print(f"wrote {len(spans)} spans to {out}")
+    return 0
+
+
+def cmd_critical_path(args: argparse.Namespace) -> int:
+    spans = read_jsonl(args.trace)
+    paths = analyze_jobs(spans)
+    if not paths:
+        print("error: trace holds no finished job span trees", file=sys.stderr)
+        return 1
+    if args.job is not None:
+        paths = [p for p in paths if p.job_id == args.job]
+        if not paths:
+            print(f"error: no traced job with id {args.job}", file=sys.stderr)
+            return 2
+    for p in paths:
+        print(render_critical_path(p))
+        print()
+    totals = machine_attribution(paths)
+    grand = sum(totals.values())
+    if grand > 0:
+        parts = "  ".join(
+            f"{kind} {totals[kind] / grand:.1%}" for kind in PHASE_KINDS
+        )
+        print(f"machine-wide attribution ({len(paths)} jobs, node-second weighted):")
+        print(f"  {parts}")
+    return 0
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    spans = read_jsonl(args.trace)
+    print(render_trace_summary(trace_summary(spans)))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="sp2-trace",
+        description="Span tracing for SP2 measurement campaigns.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    p_rec = sub.add_parser("record", help="run a seeded campaign with tracing on")
+    _add_campaign_args(p_rec)
+    p_rec.add_argument(
+        "--out", type=pathlib.Path, default=pathlib.Path("trace.jsonl"),
+        help="JSONL trace output path (default trace.jsonl)",
+    )
+    p_rec.add_argument(
+        "--chrome", type=pathlib.Path, default=None,
+        help="also write a Chrome trace-event JSON here",
+    )
+    p_rec.set_defaults(func=cmd_record)
+
+    p_exp = sub.add_parser("export", help="convert a recorded JSONL trace")
+    p_exp.add_argument("trace", type=pathlib.Path, help="recorded .jsonl trace")
+    p_exp.add_argument(
+        "--format", choices=("chrome", "jsonl"), default="chrome",
+        help="output format (default chrome)",
+    )
+    p_exp.add_argument("--out", type=pathlib.Path, required=True, help="output path")
+    p_exp.set_defaults(func=cmd_export)
+
+    p_cp = sub.add_parser(
+        "critical-path", help="per-job wall-time attribution + longest chain"
+    )
+    p_cp.add_argument("trace", type=pathlib.Path, help="recorded .jsonl trace")
+    p_cp.add_argument("--job", type=int, default=None, help="only this job id")
+    p_cp.set_defaults(func=cmd_critical_path)
+
+    p_sum = sub.add_parser("summary", help="span counts and coverage of a trace")
+    p_sum.add_argument("trace", type=pathlib.Path, help="recorded .jsonl trace")
+    p_sum.set_defaults(func=cmd_summary)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

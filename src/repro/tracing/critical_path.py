@@ -1,0 +1,136 @@
+"""Per-job critical-path analysis over a recorded span tree.
+
+The paper could say *that* the SP2 sustained ~3% of peak but had to
+infer *why* from aggregate counters (§5's "invisible waits").  With a
+span tree per job the question inverts: each job's wall time is
+attributed to the four places it can go — compute, switch wait, I/O,
+paging — from the phase segments the scheduler synthesized under the
+job's ``running`` span, and the longest root-to-leaf chain of the tree
+is reported as the job's critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.tracing.span import (
+    CAT_JOB,
+    CAT_JOB_PHASE,
+    CAT_JOB_STATE,
+    PHASE_KINDS,
+    Span,
+    span_index,
+)
+
+
+@dataclass(frozen=True)
+class JobCriticalPath:
+    """Wall-time attribution for one finished job."""
+
+    job_id: int
+    app_name: str
+    nodes: int
+    queue_wait_seconds: float
+    wall_seconds: float
+    #: Seconds per attribution bucket (keys ⊆ :data:`PHASE_KINDS`).
+    breakdown: dict[str, float]
+    #: Longest root-to-leaf chain: ``(span name, seconds)`` pairs.
+    chain: tuple[tuple[str, float], ...]
+
+    @property
+    def dominant(self) -> str:
+        """Where most of the wall time went."""
+        if not self.breakdown:
+            return "compute"
+        return max(self.breakdown, key=lambda k: self.breakdown[k])
+
+    def fraction(self, kind: str) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.breakdown.get(kind, 0.0) / self.wall_seconds
+
+
+def longest_chain(
+    root: Span, children: dict[str | None, list[Span]]
+) -> tuple[tuple[str, float], ...]:
+    """Greedy max-duration descent from ``root`` to a leaf."""
+    chain: list[tuple[str, float]] = []
+    node = root
+    while node is not None:
+        chain.append((node.name, node.duration))
+        kids = children.get(node.span_id, [])
+        node = max(kids, key=lambda s: s.duration) if kids else None
+    return tuple(chain)
+
+
+def _analyze_root(
+    root: Span, children: dict[str | None, list[Span]]
+) -> JobCriticalPath:
+    states = {
+        s.name: s for s in children.get(root.span_id, []) if s.category == CAT_JOB_STATE
+    }
+    queued = states.get("queued")
+    running = states.get("running")
+    breakdown: dict[str, float] = {}
+    if running is not None:
+        for child in children.get(running.span_id, []):
+            if child.category == CAT_JOB_PHASE:
+                breakdown[child.name] = breakdown.get(child.name, 0.0) + child.duration
+    wall = running.duration if running is not None else 0.0
+    # Whatever the phase segments did not cover is compute (a profile
+    # without fraction diagnostics yields no segments at all).
+    covered = sum(breakdown.values())
+    if wall > covered + 1e-9:
+        breakdown["compute"] = breakdown.get("compute", 0.0) + (wall - covered)
+    return JobCriticalPath(
+        job_id=int(root.args.get("job_id", 0)),
+        app_name=str(root.args.get("app", "?")),
+        nodes=int(root.args.get("nodes", 0)),
+        queue_wait_seconds=queued.duration if queued is not None else 0.0,
+        wall_seconds=wall,
+        breakdown=breakdown,
+        chain=longest_chain(root, children),
+    )
+
+
+def analyze_jobs(spans: Iterable[Span]) -> list[JobCriticalPath]:
+    """One :class:`JobCriticalPath` per finished job, job-id order."""
+    spans = list(spans)
+    _, children = span_index(spans)
+    roots = sorted(
+        (s for s in spans if s.category == CAT_JOB),
+        key=lambda s: s.args.get("job_id", 0),
+    )
+    return [_analyze_root(r, children) for r in roots]
+
+
+def machine_attribution(paths: Iterable[JobCriticalPath]) -> dict[str, float]:
+    """Node-second-weighted attribution over every traced job.
+
+    Weighting by width (nodes × seconds) answers the machine-level
+    question — where did the *cluster's* time go — rather than the
+    per-job average.
+    """
+    totals = {kind: 0.0 for kind in PHASE_KINDS}
+    for p in paths:
+        for kind, seconds in p.breakdown.items():
+            totals[kind] = totals.get(kind, 0.0) + seconds * max(p.nodes, 1)
+    return totals
+
+
+def render_critical_path(path: JobCriticalPath) -> str:
+    """Operator text for one job's attribution + chain."""
+    wall = path.wall_seconds
+    lines = [
+        f"job {path.job_id} ({path.app_name}, {path.nodes} nodes): "
+        f"wall {wall:.0f}s after {path.queue_wait_seconds:.0f}s queued",
+    ]
+    for kind in PHASE_KINDS:
+        seconds = path.breakdown.get(kind, 0.0)
+        if seconds > 0:
+            lines.append(f"  {kind:<12s} {seconds:10.1f}s  {path.fraction(kind):6.1%}")
+    chain = " -> ".join(f"{name} ({seconds:.0f}s)" for name, seconds in path.chain)
+    lines.append(f"  critical path: {chain}")
+    lines.append(f"  dominant: {path.dominant}")
+    return "\n".join(lines)

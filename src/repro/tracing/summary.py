@@ -1,0 +1,48 @@
+"""Whole-trace summaries for ``sp2-trace summary``."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.tracing.span import CAT_JOB, Span
+
+
+def trace_summary(spans: Iterable[Span]) -> dict[str, Any]:
+    """JSON-ready facts about one recorded trace."""
+    spans = list(spans)
+    by_cat: dict[str, int] = {}
+    t0 = t1 = 0.0
+    for s in spans:
+        by_cat[s.category] = by_cat.get(s.category, 0) + 1
+        if s.start < t0:
+            t0 = s.start
+        if s.end is not None and s.end > t1:
+            t1 = s.end
+    jobs = sorted(
+        int(s.args.get("job_id", 0)) for s in spans if s.category == CAT_JOB
+    )
+    return {
+        "spans": len(spans),
+        "by_category": dict(sorted(by_cat.items())),
+        "jobs_traced": len(jobs),
+        "first_job": jobs[0] if jobs else None,
+        "last_job": jobs[-1] if jobs else None,
+        "sim_seconds": t1 - t0,
+    }
+
+
+def render_trace_summary(summary: dict[str, Any]) -> str:
+    lines = [
+        f"spans      : {summary['spans']} over {summary['sim_seconds'] / 86400:.2f} "
+        "simulated days",
+        f"jobs traced: {summary['jobs_traced']}"
+        + (
+            f" (ids {summary['first_job']}..{summary['last_job']})"
+            if summary["jobs_traced"]
+            else ""
+        ),
+        "by category:",
+    ]
+    for cat, count in summary["by_category"].items():
+        lines.append(f"  {cat:<14s} {count:8d}")
+    return "\n".join(lines)

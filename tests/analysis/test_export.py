@@ -57,6 +57,13 @@ class TestDatasetSummary:
         parsed = json.loads(dataset_to_json(small_dataset))
         assert parsed["config"]["n_nodes"] == small_dataset.config.n_nodes
 
+    def test_run_attributable_from_artifact_alone(self, small_dataset):
+        """Seed + event count identify the run without the command line."""
+        s = dataset_summary(small_dataset)
+        assert s["campaign"]["seed"] == small_dataset.config.seed
+        assert s["campaign"]["events_processed"] == small_dataset.events_processed
+        assert s["campaign"]["events_processed"] > 0
+
 
 class TestFigureExport:
     def test_all_five_figures(self, small_dataset):

@@ -96,7 +96,8 @@ class TestRun:
         fired = []
         for i in range(10):
             sim.schedule(float(i + 1), lambda s, i=i: fired.append(i))
-        sim.run(max_events=3)
+        with pytest.warns(RuntimeWarning, match="truncated"):
+            sim.run(max_events=3)
         assert fired == [0, 1, 2]
 
     def test_step_returns_false_on_empty_queue(self):
@@ -113,3 +114,51 @@ class TestRun:
         sim = Simulator()
         sim.run()
         assert sim.now == 0.0
+
+
+class TestTruncation:
+    def test_exhaustion_warns_and_reports_next_event(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda s: None)
+        with pytest.warns(RuntimeWarning, match="max_events=2"):
+            sim.run(max_events=2)
+        assert sim.events_processed == 2
+
+    def test_exhaustion_publishes_bus_event(self):
+        from repro.telemetry.bus import TOPIC_SIM_TRUNCATED, EventBus
+
+        sim = Simulator()
+        sim.bus = EventBus()
+        seen = []
+        sim.bus.subscribe(TOPIC_SIM_TRUNCATED, seen.append)
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda s: None)
+        with pytest.warns(RuntimeWarning):
+            sim.run(max_events=3)
+        (ev,) = seen
+        assert ev.events_processed == 3
+        assert ev.time == 3.0
+        assert ev.next_event_time == 4.0
+
+    def test_draining_exactly_max_events_is_not_truncation(self):
+        import warnings as _warnings
+
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(float(i + 1), lambda s: None)
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            sim.run(max_events=3)
+        assert sim.events_processed == 3
+
+    def test_events_beyond_horizon_are_not_truncation(self):
+        import warnings as _warnings
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: None)
+        sim.schedule(10.0, lambda s: None)
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            sim.run(until=5.0, max_events=1)
+        assert sim.now == 5.0

@@ -1,0 +1,89 @@
+"""Critical-path analyzer on hand-built and campaign span trees."""
+
+from repro.tracing import Span, analyze_jobs, machine_attribution, render_critical_path
+from repro.tracing.span import CAT_JOB, CAT_JOB_PHASE, CAT_JOB_STATE
+
+
+def _job_tree(job_id=1, *, nodes=4, queued=50.0, phases=()):
+    """A job root with queued/running states and phase segments."""
+    start = 0.0
+    run_start = start + queued
+    wall = sum(d for _, d in phases) or 100.0
+    spans = [
+        Span(
+            f"j{job_id}", f"job-{job_id}", CAT_JOB, start, run_start + wall,
+            None, {"job_id": job_id, "app": "cfd", "nodes": nodes},
+        ),
+        Span(f"j{job_id}q", "queued", CAT_JOB_STATE, start, run_start, f"j{job_id}"),
+        Span(
+            f"j{job_id}r", "running", CAT_JOB_STATE, run_start, run_start + wall,
+            f"j{job_id}",
+        ),
+    ]
+    cursor = run_start
+    for i, (kind, dur) in enumerate(phases):
+        spans.append(
+            Span(
+                f"j{job_id}p{i}", kind, CAT_JOB_PHASE, cursor, cursor + dur,
+                f"j{job_id}r",
+            )
+        )
+        cursor += dur
+    return spans
+
+
+class TestAttribution:
+    def test_phases_become_breakdown(self):
+        spans = _job_tree(phases=[("compute", 70.0), ("switch-wait", 20.0), ("io", 10.0)])
+        (path,) = analyze_jobs(spans)
+        assert path.breakdown == {"compute": 70.0, "switch-wait": 20.0, "io": 10.0}
+        assert path.wall_seconds == 100.0
+        assert path.queue_wait_seconds == 50.0
+        assert path.dominant == "compute"
+        assert abs(path.fraction("switch-wait") - 0.2) < 1e-12
+
+    def test_uncovered_wall_time_credited_to_compute(self):
+        # No phase segments at all: the whole running span is compute.
+        spans = _job_tree(phases=[])
+        (path,) = analyze_jobs(spans)
+        assert path.breakdown == {"compute": 100.0}
+
+    def test_paging_dominant_job(self):
+        spans = _job_tree(phases=[("compute", 30.0), ("paging", 70.0)])
+        (path,) = analyze_jobs(spans)
+        assert path.dominant == "paging"
+
+    def test_jobs_sorted_by_id(self):
+        spans = _job_tree(2) + _job_tree(1)
+        paths = analyze_jobs(spans)
+        assert [p.job_id for p in paths] == [1, 2]
+
+
+class TestChain:
+    def test_chain_descends_longest_child(self):
+        spans = _job_tree(phases=[("compute", 80.0), ("io", 20.0)])
+        (path,) = analyze_jobs(spans)
+        names = [name for name, _ in path.chain]
+        assert names == ["job-1", "running", "compute"]
+
+    def test_chain_prefers_running_over_queue(self):
+        # Long queue wait, short run: chain still follows the longer leg.
+        spans = _job_tree(queued=500.0, phases=[("compute", 100.0)])
+        (path,) = analyze_jobs(spans)
+        assert path.chain[1][0] == "queued"
+
+
+class TestMachineView:
+    def test_attribution_weighted_by_nodes(self):
+        a = _job_tree(1, nodes=1, phases=[("compute", 100.0)])
+        b = _job_tree(2, nodes=9, phases=[("io", 100.0)])
+        totals = machine_attribution(analyze_jobs(a + b))
+        assert totals["compute"] == 100.0
+        assert totals["io"] == 900.0
+
+    def test_render_mentions_every_nonzero_bucket(self):
+        spans = _job_tree(phases=[("compute", 60.0), ("paging", 40.0)])
+        text = render_critical_path(analyze_jobs(spans)[0])
+        assert "compute" in text and "paging" in text
+        assert "switch-wait" not in text
+        assert "critical path:" in text

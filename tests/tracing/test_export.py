@@ -1,0 +1,102 @@
+"""Exporter formats: JSONL roundtrip and Chrome trace-event schema."""
+
+import json
+
+from repro.tracing import (
+    Span,
+    read_jsonl,
+    spans_to_chrome,
+    spans_to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.tracing.span import CAT_HPM, CAT_JOB, CAT_JOB_STATE
+
+
+def _sample_spans():
+    return [
+        Span("s1", "job-1", CAT_JOB, 0.0, 100.0, None, {"job_id": 1}),
+        Span("s2", "queued", CAT_JOB_STATE, 0.0, 10.0, "s1"),
+        Span("s3", "running", CAT_JOB_STATE, 10.0, 100.0, "s1"),
+        Span("s4", "cron-pass", CAT_HPM, 900.0, 900.0, None, {"nodes": 4}),
+    ]
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        path = write_jsonl(_sample_spans(), tmp_path / "t.jsonl")
+        assert read_jsonl(path) == _sample_spans()
+
+    def test_one_sorted_json_object_per_line(self):
+        text = spans_to_jsonl(_sample_spans())
+        lines = text.strip().split("\n")
+        assert len(lines) == 4
+        for line in lines:
+            row = json.loads(line)
+            assert list(row) == sorted(row)
+
+    def test_serialization_is_order_independent(self):
+        spans = _sample_spans()
+        assert spans_to_jsonl(spans) == spans_to_jsonl(list(reversed(spans)))
+
+
+class TestChrome:
+    def test_export_passes_own_validator(self):
+        assert validate_chrome_trace(spans_to_chrome(_sample_spans())) == []
+
+    def test_job_spans_get_their_own_pid_track(self):
+        obj = spans_to_chrome(_sample_spans())
+        by_name = {
+            ev["name"]: ev for ev in obj["traceEvents"] if ev["ph"] == "X"
+        }
+        # The job tree lands on pid = job_id; machine spans on pid 0.
+        assert by_name["job-1"]["pid"] == 1
+        assert by_name["queued"]["pid"] == 1
+        assert by_name["running"]["pid"] == 1
+        assert by_name["cron-pass"]["pid"] == 0
+
+    def test_timestamps_are_microseconds(self):
+        obj = spans_to_chrome(_sample_spans())
+        running = next(
+            ev for ev in obj["traceEvents"]
+            if ev["ph"] == "X" and ev["name"] == "running"
+        )
+        assert running["ts"] == 10.0 * 1e6
+        assert running["dur"] == 90.0 * 1e6
+
+    def test_metadata_names_tracks(self):
+        obj = spans_to_chrome(_sample_spans())
+        meta = [ev for ev in obj["traceEvents"] if ev["ph"] == "M"]
+        names = {ev["name"] for ev in meta}
+        assert "process_name" in names and "thread_name" in names
+
+    def test_write_is_deterministic(self, tmp_path):
+        a = write_chrome_trace(_sample_spans(), tmp_path / "a.json")
+        b = write_chrome_trace(_sample_spans(), tmp_path / "b.json")
+        assert a.read_bytes() == b.read_bytes()
+        assert validate_chrome_trace(json.loads(a.read_text())) == []
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({}) != []
+
+    def test_rejects_bad_phase(self):
+        obj = {"traceEvents": [{"name": "x", "ph": "Z", "pid": 0, "tid": 0}]}
+        assert any("ph" in e for e in validate_chrome_trace(obj))
+
+    def test_rejects_complete_event_without_duration(self):
+        obj = {"traceEvents": [{"name": "x", "ph": "X", "pid": 0, "tid": 0, "ts": 1}]}
+        assert validate_chrome_trace(obj) != []
+
+    def test_rejects_negative_duration(self):
+        obj = {
+            "traceEvents": [
+                {"name": "x", "ph": "X", "pid": 0, "tid": 0, "ts": 1, "dur": -5}
+            ]
+        }
+        assert validate_chrome_trace(obj) != []

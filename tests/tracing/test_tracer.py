@@ -1,0 +1,163 @@
+"""Tracer semantics: nesting, clocks, zero-cost disabled mode, bus."""
+
+import pytest
+
+from repro.telemetry.bus import TOPIC_SPAN, EventBus
+from repro.tracing import NULL_TRACER, Span, Tracer, span_index
+from repro.tracing.tracer import _NULL_SPAN
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+class TestNesting:
+    def test_context_manager_nests_parent_child(self):
+        clock = FakeClock()
+        tr = Tracer(clock)
+        with tr.span("outer", "cat") as outer:
+            clock.t = 1.0
+            with tr.span("inner", "cat") as inner:
+                clock.t = 2.0
+            clock.t = 3.0
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert (inner.start, inner.end) == (1.0, 2.0)
+        assert (outer.start, outer.end) == (0.0, 3.0)
+
+    def test_siblings_share_parent(self):
+        tr = Tracer(FakeClock())
+        with tr.span("root", "cat") as root:
+            with tr.span("a", "cat") as a:
+                pass
+            with tr.span("b", "cat") as b:
+                pass
+        assert a.parent_id == root.span_id == b.parent_id
+        by_id, children = span_index(tr.spans)
+        assert [s.name for s in children[root.span_id]] == ["a", "b"]
+        assert children[None] == [root]
+
+    def test_explicit_begin_finish_crosses_scopes(self):
+        clock = FakeClock()
+        tr = Tracer(clock)
+        long_lived = tr.begin("job", "cat", parent=None)
+        clock.t = 5.0
+        with tr.span("event", "cat"):
+            pass
+        clock.t = 9.0
+        tr.finish(long_lived)
+        assert long_lived.duration == 9.0
+        # The lexical span is NOT a child of the explicit one: begin()
+        # does not push onto the context stack.
+        event = next(s for s in tr.spans if s.name == "event")
+        assert event.parent_id is None
+
+    def test_explicit_parent_overrides_stack(self):
+        tr = Tracer(FakeClock())
+        root = tr.begin("root", "cat", parent=None)
+        with tr.span("top", "cat"):
+            with tr.span("child", "cat", parent=root) as child:
+                pass
+        assert child.parent_id == root.span_id
+
+    def test_sequential_ids_from_one(self):
+        tr = Tracer(FakeClock())
+        a = tr.begin("a", "cat")
+        b = tr.begin("b", "cat")
+        assert (a.span_id, b.span_id) == ("s1", "s2")
+
+
+class TestClockAndOrdering:
+    def test_spans_ordered_in_sim_time(self):
+        clock = FakeClock()
+        tr = Tracer(clock)
+        for i in range(5):
+            clock.t = float(i)
+            with tr.span(f"e{i}", "cat"):
+                clock.t = float(i) + 0.5
+        starts = [s.start for s in tr.spans]
+        assert starts == sorted(starts)
+        assert all(s.end >= s.start for s in tr.spans)
+
+    def test_finish_rejects_end_before_start(self):
+        clock = FakeClock(10.0)
+        tr = Tracer(clock)
+        s = tr.begin("x", "cat")
+        with pytest.raises(ValueError):
+            tr.finish(s, end=5.0)
+
+    def test_double_finish_rejected(self):
+        tr = Tracer(FakeClock())
+        s = tr.begin("x", "cat")
+        tr.finish(s)
+        with pytest.raises(ValueError):
+            tr.finish(s)
+
+    def test_record_makes_closed_span(self):
+        tr = Tracer(FakeClock(100.0))
+        s = tr.record("io", "fs", duration=2.5, start=90.0, bytes=4096)
+        assert (s.start, s.end) == (90.0, 92.5)
+        assert s.args["bytes"] == 4096
+        assert s in tr.spans
+
+
+class TestDisabled:
+    def test_disabled_tracer_records_nothing(self):
+        tr = Tracer(FakeClock(), enabled=False)
+        with tr.span("a", "cat") as s:
+            inner = tr.begin("b", "cat")
+            tr.finish(inner)
+            tr.record("c", "cat", duration=1.0, start=0.0)
+        assert s is _NULL_SPAN and inner is _NULL_SPAN
+        assert tr.spans == []
+        assert tr.current is None
+
+    def test_null_tracer_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+
+    def test_decorator_zero_cost_when_disabled(self):
+        tr = Tracer(FakeClock(), enabled=False)
+
+        @tr.trace("work", "cat")
+        def f(x):
+            return x * 2
+
+        assert f(21) == 42
+        assert tr.spans == []
+
+
+class TestDecoratorAndBus:
+    def test_decorator_records_span(self):
+        clock = FakeClock()
+        tr = Tracer(clock)
+
+        @tr.trace("work", "cat")
+        def f():
+            clock.t = 3.0
+            return "ok"
+
+        assert f() == "ok"
+        assert len(tr.spans) == 1
+        assert tr.spans[0].name == "work"
+        assert tr.spans[0].duration == 3.0
+
+    def test_finished_spans_publish_to_bus(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(TOPIC_SPAN, seen.append)
+        tr = Tracer(FakeClock(), bus=bus)
+        with tr.span("outer", "cat"):
+            with tr.span("inner", "cat"):
+                pass
+        assert [ev.span.name for ev in seen] == ["inner", "outer"]
+
+    def test_span_roundtrips_through_dict(self):
+        s = Span(
+            span_id="s9", name="x", category="cat", start=1.0, end=2.0,
+            parent_id="s1", args={"k": 3},
+        )
+        assert Span.from_dict(s.to_dict()) == s
