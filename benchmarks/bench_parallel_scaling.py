@@ -1,0 +1,140 @@
+"""Experiment: wall-clock scaling of the sharded campaign runner.
+
+Runs the same campaign configuration through
+:func:`repro.parallel.run_parallel_study` at increasing worker counts
+and reports wall time and speedup versus one worker.  Because the merge
+is deterministic, every row of the table is the *same experiment* — the
+runner guards this by fingerprinting each dataset and asserting the
+fingerprints match across worker counts.
+
+Two entry points:
+
+* ``pytest benchmarks/ --benchmark-only`` runs a small scaling check as
+  part of the experiment harness;
+* ``python benchmarks/bench_parallel_scaling.py --days 270 --workers
+  1 2 4`` reproduces the full nine-month scaling table (the CI build
+  artifact).  Speedup tracks the physical core count: expect ≥2× at 4
+  workers on ≥4 cores, and ~1× on a single-core container.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.core.study import StudyConfig, StudyDataset
+from repro.parallel import plan_shards, run_parallel_study
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One row of the scaling table."""
+
+    workers: int
+    seconds: float
+    speedup: float  # vs the 1-worker row
+
+
+def _fingerprint(dataset: StudyDataset) -> tuple:
+    """A cheap identity for "same merged campaign" assertions."""
+    daily = dataset.daily_gflops()
+    return (
+        len(dataset.accounting),
+        dataset.events_processed,
+        len(dataset.collector.samples),
+        round(float(daily.sum()), 9) if daily.size else 0.0,
+    )
+
+
+def measure_scaling(
+    config: StudyConfig,
+    worker_counts: list[int],
+    *,
+    shard_days: int | None = None,
+) -> list[ScalingPoint]:
+    """Time the sharded runner at each worker count (identical output
+    asserted across all of them)."""
+    points: list[ScalingPoint] = []
+    baseline: float | None = None
+    reference: tuple | None = None
+    for workers in worker_counts:
+        t0 = time.perf_counter()
+        dataset = run_parallel_study(config, workers=workers, shard_days=shard_days)
+        dt = time.perf_counter() - t0
+        fp = _fingerprint(dataset)
+        if reference is None:
+            reference = fp
+        elif fp != reference:
+            raise AssertionError(
+                f"workers={workers} changed the merged campaign: {fp} != {reference}"
+            )
+        if baseline is None:
+            baseline = dt
+        points.append(ScalingPoint(workers=workers, seconds=dt, speedup=baseline / dt))
+    return points
+
+
+def render_table(
+    points: list[ScalingPoint], config: StudyConfig, shard_days: int | None
+) -> str:
+    shards = plan_shards(config.n_days, shard_days)
+    lines = [
+        f"# sp2 parallel scaling — {config.n_days}-day campaign, "
+        f"{config.n_nodes} nodes, seed {config.seed}",
+        f"# {len(shards)} shards ({shards[0].n_days} days each), "
+        f"{os.cpu_count()} cpu cores visible",
+        f"{'workers':>8s} {'seconds':>10s} {'speedup':>8s}",
+    ]
+    for p in points:
+        lines.append(f"{p.workers:>8d} {p.seconds:>10.2f} {p.speedup:>7.2f}x")
+    return "\n".join(lines)
+
+
+def test_parallel_scaling(benchmark, capsys):
+    """Sharded runner scaling on a short campaign (worker counts 1/2/4;
+    the full 270-day table is the script / CI-artifact path)."""
+    days = min(int(os.environ.get("REPRO_BENCH_DAYS", "60")), 24)
+    config = StudyConfig(seed=0, n_days=days, n_nodes=144, n_users=60)
+
+    points = benchmark.pedantic(
+        lambda: measure_scaling(config, [1, 2, 4], shard_days=max(1, days // 6)),
+        rounds=1,
+        iterations=1,
+    )
+    assert [p.workers for p in points] == [1, 2, 4]
+    assert all(p.seconds > 0 for p in points)
+
+    with capsys.disabled():
+        print()
+        print(render_table(points, config, max(1, days // 6)))
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description="sp2 sharded-runner scaling table")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--days", type=int, default=270)
+    p.add_argument("--nodes", type=int, default=144)
+    p.add_argument("--users", type=int, default=60)
+    p.add_argument("--shard-days", type=int, default=None)
+    p.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
+    p.add_argument("--out", type=str, default=None, help="also write the table here")
+    args = p.parse_args(argv)
+
+    config = StudyConfig(
+        seed=args.seed, n_days=args.days, n_nodes=args.nodes, n_users=args.users
+    )
+    points = measure_scaling(config, args.workers, shard_days=args.shard_days)
+    table = render_table(points, config, args.shard_days)
+    print(table)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(table + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

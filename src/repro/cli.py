@@ -38,6 +38,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--days", type=int, default=30, help="campaign length in days")
     p.add_argument("--nodes", type=int, default=144, help="cluster size")
     p.add_argument("--users", type=int, default=60, help="user population size")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the campaign as day-range shards on N worker processes "
+        "(output depends on the shard plan, never on N)",
+    )
+    p.add_argument(
+        "--shard-days",
+        type=int,
+        default=None,
+        metavar="K",
+        help="days per shard for --workers (default 15); implies sharded "
+        "execution even with one worker",
+    )
     p.add_argument("--tables", action="store_true", help="print Tables 1-4")
     p.add_argument("--figures", action="store_true", help="print ASCII Figures 1-5")
     p.add_argument(
@@ -52,13 +68,20 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     t0 = time.time()
+    sharded = args.workers is not None or args.shard_days is not None
+    how = f", {args.workers or 1} workers" if sharded else ""
     print(
         f"Running {args.days}-day campaign on {args.nodes} nodes "
-        f"(seed {args.seed}, {args.users} users)...",
+        f"(seed {args.seed}, {args.users} users{how})...",
         file=sys.stderr,
     )
     dataset = run_study(
-        args.seed, n_days=args.days, n_nodes=args.nodes, n_users=args.users
+        args.seed,
+        n_days=args.days,
+        n_nodes=args.nodes,
+        n_users=args.users,
+        workers=args.workers,
+        shard_days=args.shard_days,
     )
     print(f"Campaign done in {time.time() - t0:.1f}s.", file=sys.stderr)
 

@@ -233,8 +233,25 @@ class WorkloadStudy:
 
 
 def run_study(
-    seed: int = 0, *, n_days: int = 270, n_nodes: int = 144, n_users: int = 60
+    seed: int = 0,
+    *,
+    n_days: int = 270,
+    n_nodes: int = 144,
+    n_users: int = 60,
+    workers: int | None = None,
+    shard_days: int | None = None,
 ) -> StudyDataset:
-    """One-call campaign: generate the trace, run it, return the data."""
+    """One-call campaign: generate the trace, run it, return the data.
+
+    With ``workers`` and/or ``shard_days`` set, the campaign runs through
+    the sharded runner (:func:`repro.parallel.run_parallel_study`): split
+    into day-range shards, executed across worker processes, merged
+    deterministically.  The merged output depends on the shard plan but
+    never on the worker count.
+    """
     cfg = StudyConfig(seed=seed, n_days=n_days, n_nodes=n_nodes, n_users=n_users)
-    return WorkloadStudy(cfg).run()
+    if workers is None and shard_days is None:
+        return WorkloadStudy(cfg).run()
+    from repro.parallel.runner import run_parallel_study
+
+    return run_parallel_study(cfg, workers=workers or 1, shard_days=shard_days)

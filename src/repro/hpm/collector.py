@@ -103,7 +103,42 @@ def sample_delta(before: SystemSample, after: SystemSample) -> IntervalCounts:
     )
 
 
-class SystemCollector:
+class SampleSeries:
+    """Interval algebra over an ordered run of :class:`SystemSample`.
+
+    Base of :class:`SystemCollector` (which *produces* samples on the
+    simulation clock) and of the parallel runner's merged series (which
+    *concatenates* rebased shard samples) — both expose the same
+    ``samples`` / ``intervals()`` surface the analysis layer consumes.
+    """
+
+    def __init__(self, samples: "list[SystemSample] | None" = None) -> None:
+        self.samples: list[SystemSample] = samples if samples is not None else []
+        self._intervals_cache: list[IntervalCounts] | None = None
+
+    def intervals(self) -> list[IntervalCounts]:
+        """Counter deltas between consecutive samples, summed over the
+        nodes present in both (a node missing from either is skipped for
+        that interval, as the real scripts had to do)."""
+        if self._intervals_cache is not None:
+            return self._intervals_cache
+        out = [
+            sample_delta(before, after)
+            for before, after in zip(self.samples, self.samples[1:])
+        ]
+        self._intervals_cache = out
+        return out
+
+    def interval_matrix(self, counter: str) -> tuple[np.ndarray, np.ndarray]:
+        """(interval end times, per-interval summed counts) for one
+        counter — the fast path for time-series analysis."""
+        ivs = self.intervals()
+        times = np.array([iv.end for iv in ivs])
+        counts = np.array([iv.totals.get(counter, 0) for iv in ivs], dtype=float)
+        return times, counts
+
+
+class SystemCollector(SampleSeries):
     """Collects and stores system-wide samples on the simulation clock."""
 
     def __init__(
@@ -116,6 +151,7 @@ class SystemCollector:
     ) -> None:
         if not daemons:
             raise ValueError("collector needs at least one node daemon")
+        super().__init__()
         self.daemons = daemons
         self.interval = interval
         self.bus = bus
@@ -123,8 +159,6 @@ class SystemCollector:
         #: timeline (sample publication happens inside it, so alerts
         #: fired from the sample carry this span's id).
         self.tracer = tracer
-        self.samples: list[SystemSample] = []
-        self._intervals_cache: list[IntervalCounts] | None = None
         #: Nodes unreachable as of the latest pass (transition tracking
         #: for the node.down / node.up bus topics).
         self._down: set[int] = set()
@@ -193,27 +227,3 @@ class SystemCollector:
             )
         self._down = now_down
         self.bus.publish(TOPIC_SAMPLE, SampleTaken(time=sample.time, sample=sample))
-
-    # ------------------------------------------------------------------
-    # Interval algebra
-    # ------------------------------------------------------------------
-    def intervals(self) -> list[IntervalCounts]:
-        """Counter deltas between consecutive samples, summed over the
-        nodes present in both (a node missing from either is skipped for
-        that interval, as the real scripts had to do)."""
-        if self._intervals_cache is not None:
-            return self._intervals_cache
-        out = [
-            sample_delta(before, after)
-            for before, after in zip(self.samples, self.samples[1:])
-        ]
-        self._intervals_cache = out
-        return out
-
-    def interval_matrix(self, counter: str) -> tuple[np.ndarray, np.ndarray]:
-        """(interval end times, per-interval summed counts) for one
-        counter — the fast path for time-series analysis."""
-        ivs = self.intervals()
-        times = np.array([iv.end for iv in ivs])
-        counts = np.array([iv.totals.get(counter, 0) for iv in ivs], dtype=float)
-        return times, counts

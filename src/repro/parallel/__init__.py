@@ -1,0 +1,38 @@
+"""Sharded parallel campaign execution with a deterministic merge.
+
+The 270-day × 144-node campaign is this reproduction's hot path; this
+package splits it into independent day-range shards, runs them across
+``multiprocessing`` workers, and merges the outputs — counter series,
+job accounting, telemetry rollups, trace spans — into one
+:class:`~repro.core.study.StudyDataset`.
+
+The design invariant everything else leans on: **the merged result is a
+pure function of the shard plan**, never of the worker count or
+scheduling order.  See docs/PARALLEL.md for the shard model, the RNG
+spawning scheme, and the boundary semantics.
+"""
+
+from repro.parallel.merge import (
+    JOB_ID_STRIDE,
+    SPAN_ID_STRIDE,
+    MergedSampleSeries,
+    merge_shard_results,
+)
+from repro.parallel.plan import DEFAULT_SHARD_DAYS, Shard, plan_shards
+from repro.parallel.runner import execute_shards, run_parallel_study
+from repro.parallel.worker import ShardResult, run_shard, shard_trace
+
+__all__ = [
+    "DEFAULT_SHARD_DAYS",
+    "JOB_ID_STRIDE",
+    "SPAN_ID_STRIDE",
+    "MergedSampleSeries",
+    "Shard",
+    "ShardResult",
+    "execute_shards",
+    "merge_shard_results",
+    "plan_shards",
+    "run_parallel_study",
+    "run_shard",
+    "shard_trace",
+]

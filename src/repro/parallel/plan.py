@@ -1,0 +1,62 @@
+"""Shard planning: how a campaign splits into day ranges.
+
+A shard plan is a pure function of ``(n_days, shard_days)`` — it never
+depends on worker count, so the same campaign configuration produces the
+same shards (and therefore the same merged results, see
+:mod:`repro.parallel.merge`) whether it runs on one worker or sixteen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default day-range width.  A fixed constant (never derived from the
+#: worker count) so the shard layout — which is part of the experiment's
+#: statistical definition — is stable across machines.  15 divides the
+#: paper's 270-day campaign into 18 shards, enough to keep 16 workers
+#: busy.
+DEFAULT_SHARD_DAYS = 15
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous day range of a campaign.
+
+    ``index`` doubles as the shard's RNG identity
+    (:func:`repro.util.rng.spawn_stream`) and its merge namespace (job
+    and span id offsets).
+    """
+
+    index: int
+    day_start: int
+    day_end: int  # exclusive
+
+    @property
+    def n_days(self) -> int:
+        return self.day_end - self.day_start
+
+    @property
+    def start_seconds(self) -> float:
+        from repro.workload.traces import SECONDS_PER_DAY
+
+        return self.day_start * SECONDS_PER_DAY
+
+
+def plan_shards(n_days: int, shard_days: int | None = None) -> list[Shard]:
+    """Split ``n_days`` into contiguous shards of ``shard_days`` each
+    (last shard may be shorter).
+
+    ``shard_days=None`` uses :data:`DEFAULT_SHARD_DAYS`; a value at or
+    above ``n_days`` yields a single shard, which the runner executes via
+    the exact serial path (same trace, same streams) — the degenerate
+    plan is byte-identical to :func:`repro.core.study.run_study`.
+    """
+    if n_days <= 0:
+        raise ValueError("need at least one day")
+    width = DEFAULT_SHARD_DAYS if shard_days is None else int(shard_days)
+    if width <= 0:
+        raise ValueError(f"shard_days must be positive, got {width}")
+    return [
+        Shard(index=i, day_start=start, day_end=min(start + width, n_days))
+        for i, start in enumerate(range(0, n_days, width))
+    ]

@@ -1,0 +1,97 @@
+"""The sharded campaign runner: plan → execute → merge.
+
+``run_parallel_study`` is the parallel counterpart of
+:meth:`repro.core.study.WorkloadStudy.run`.  Determinism contract:
+
+* the merged dataset is a pure function of ``(config, shard_days)`` —
+  the ``workers`` count and the pool's scheduling order never change a
+  byte of the output (the differential tests assert this);
+* a single-shard plan (``shard_days >= n_days``) is byte-identical to
+  the serial path (same trace streams, zero offsets);
+* multi-shard plans are a different — equally valid — statistical
+  realization of the same campaign distribution: each shard's
+  submissions come from its own spawned stream, and PBS queues drain at
+  shard boundaries (see docs/PARALLEL.md for the boundary semantics).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.core.study import StudyConfig, StudyDataset
+from repro.parallel.merge import merge_shard_results
+from repro.parallel.plan import Shard, plan_shards
+from repro.parallel.worker import ShardResult, _run_shard_task, run_shard
+
+
+def _pool_context(start_method: str | None) -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap, deterministic here: workers only read
+    the pickled payload), else spawn.  Overridable for portability tests
+    and via ``REPRO_MP_START`` for operational tuning."""
+    if start_method is None:
+        start_method = os.environ.get("REPRO_MP_START")
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else "spawn"
+    return multiprocessing.get_context(start_method)
+
+
+def execute_shards(
+    config: StudyConfig,
+    shards: list[Shard],
+    *,
+    workers: int = 1,
+    tracing: bool = False,
+    start_method: str | None = None,
+) -> list[ShardResult]:
+    """Run every shard, in-process or across a worker pool.
+
+    Results are returned in shard-index order regardless of completion
+    order (``Pool.map`` preserves input order), so the merge sees the
+    same sequence either way.
+    """
+    payloads = [(config, shard, len(shards), tracing) for shard in shards]
+    n_procs = min(workers, len(shards))
+    if n_procs <= 1:
+        return [run_shard(config, shard, len(shards), tracing=tracing) for shard in shards]
+    ctx = _pool_context(start_method)
+    with ctx.Pool(processes=n_procs) as pool:
+        return pool.map(_run_shard_task, payloads)
+
+
+def run_parallel_study(
+    config: StudyConfig | None = None,
+    *,
+    workers: int = 1,
+    shard_days: int | None = None,
+    tracing: bool = False,
+    telemetry: bool = True,
+    start_method: str | None = None,
+) -> StudyDataset:
+    """Run a campaign as independent day-range shards and merge.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes for shard execution.  ``1`` runs the same
+        shards serially in-process; the merged output is identical.
+    shard_days:
+        Day-range width per shard (default
+        :data:`repro.parallel.plan.DEFAULT_SHARD_DAYS`).  Part of the
+        experiment definition: changing it changes the realization the
+        way a different seed would, changing ``workers`` never does.
+    tracing:
+        Give each shard a span tracer and merge the spans (shard-offset
+        span ids) into ``dataset.tracer``.
+    telemetry:
+        Rebuild the streaming telemetry view over the merged streams
+        (deterministic replay).  ``False`` skips it; the analysis layer
+        falls back to the accounting log, byte-identically.
+    """
+    config = config or StudyConfig()
+    shards = plan_shards(config.n_days, shard_days)
+    results = execute_shards(
+        config, shards, workers=workers, tracing=tracing, start_method=start_method
+    )
+    return merge_shard_results(config, results, telemetry=telemetry, tracing=tracing)

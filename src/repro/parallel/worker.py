@@ -1,0 +1,117 @@
+"""Per-shard campaign execution (the unit of parallel work).
+
+``run_shard`` is a pure function of ``(config, shard, n_shards)``: it
+builds the shard's submission trace from shard-spawned RNG streams,
+runs a private simulator/machine/PBS/collector stack over the shard's
+day range on a local clock, and reduces the result to a picklable
+:class:`ShardResult` — everything the merge layer needs and nothing it
+doesn't (no buses, no live services, no closures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.study import StudyConfig, WorkloadStudy
+from repro.hpm.collector import SystemSample
+from repro.parallel.plan import Shard
+from repro.pbs.job import JobRecord
+from repro.telemetry.bus import SimTruncated
+from repro.workload.traces import (
+    CampaignTrace,
+    Submission,
+    generate_shard_trace,
+    generate_trace,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tracing.span import Span
+
+
+@dataclass
+class ShardResult:
+    """One shard's measured output, on the shard-local clock.
+
+    All times (sample times, job times, probe times, span times) are
+    seconds from *shard* start; :mod:`repro.parallel.merge` offsets them
+    onto the campaign clock and namespaces the ids.
+    """
+
+    shard: Shard
+    samples: list[SystemSample]
+    records: list[JobRecord]
+    utilization_probes: list[tuple[float, int]]
+    submissions: list[Submission]
+    demand_levels: np.ndarray
+    events_processed: int
+    #: Spans recorded by the shard's tracer (empty when tracing is off).
+    spans: "list[Span]" = field(default_factory=list)
+    #: ``sim.truncated`` notices (normally empty).
+    truncations: list[SimTruncated] = field(default_factory=list)
+
+
+def shard_trace(config: StudyConfig, shard: Shard, n_shards: int) -> CampaignTrace:
+    """The shard's submission trace (shard-local times).
+
+    A single-shard plan reproduces the serial campaign trace exactly —
+    same streams, same draws — so ``run_parallel_study`` degenerates to
+    the byte-identical serial path.  Multi-shard plans draw each shard's
+    submissions from its own spawned stream (see
+    :func:`repro.workload.traces.generate_shard_trace`).
+    """
+    if n_shards == 1:
+        return generate_trace(
+            config.seed,
+            n_days=config.n_days,
+            n_nodes=config.n_nodes,
+            n_users=config.n_users,
+            demand_mean=config.demand_mean,
+        )
+    return generate_shard_trace(
+        config.seed,
+        shard_id=shard.index,
+        day_start=shard.day_start,
+        day_end=shard.day_end,
+        n_days=config.n_days,
+        n_nodes=config.n_nodes,
+        n_users=config.n_users,
+        demand_mean=config.demand_mean,
+    )
+
+
+def run_shard(
+    config: StudyConfig, shard: Shard, n_shards: int, *, tracing: bool = False
+) -> ShardResult:
+    """Execute one shard and reduce it to its picklable result."""
+    trace = shard_trace(config, shard, n_shards)
+    shard_config = replace(config, n_days=shard.n_days)
+    tracer = None
+    if tracing:
+        from repro.tracing.tracer import Tracer
+
+        tracer = Tracer()
+    study = WorkloadStudy(shard_config, tracer=tracer)
+    study.sim.label = f"shard{shard.index}[{shard.day_start}:{shard.day_end}]"
+    dataset = study.run(trace)
+    return ShardResult(
+        shard=shard,
+        samples=dataset.collector.samples,
+        records=dataset.accounting.records,
+        utilization_probes=dataset.utilization_probes,
+        submissions=trace.submissions,
+        demand_levels=trace.demand_levels,
+        events_processed=dataset.events_processed,
+        spans=list(tracer.spans) if tracer is not None else [],
+        truncations=(
+            list(dataset.telemetry.truncations) if dataset.telemetry is not None else []
+        ),
+    )
+
+
+def _run_shard_task(payload: tuple) -> ShardResult:
+    """Top-level pool entry point (must be picklable by name)."""
+    config, shard, n_shards, tracing = payload
+    return run_shard(config, shard, n_shards, tracing=tracing)

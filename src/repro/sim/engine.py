@@ -57,11 +57,14 @@ class SimClock:
 class Simulator:
     """Priority-queue discrete-event simulator."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, label: str = "") -> None:
         self.clock = SimClock()
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self.events_processed = 0
+        #: Diagnostic name for this simulator instance; sharded campaigns
+        #: label each shard's engine so warnings identify their shard.
+        self.label = label
         #: Optional span tracer; each dispatched event becomes a span so
         #: spans opened inside handlers nest under it (machine timeline).
         self.tracer: "Tracer | None" = None
@@ -171,8 +174,9 @@ class Simulator:
             self.step()
             processed += 1
         if truncated_at is not None:
+            where = f"simulation {self.label!r}" if self.label else "simulation"
             warnings.warn(
-                f"simulation truncated by max_events={max_events} at t={self.now:.0f}s "
+                f"{where} truncated by max_events={max_events} at t={self.now:.0f}s "
                 f"with events still queued (next at t={truncated_at:.0f}s); "
                 "results cover a partial campaign",
                 RuntimeWarning,

@@ -184,6 +184,9 @@ class TelemetryService:
         cls,
         samples: Iterable[SystemSample],
         records: Iterable[JobRecord] = (),
+        *,
+        spans: Iterable = (),  # repro.tracing.span.Span (kept untyped: no cycle)
+        truncations: Iterable[SimTruncated] = (),
     ) -> "TelemetryService":
         """Rebuild the live view from recorded samples and job records.
 
@@ -194,8 +197,17 @@ class TelemetryService:
         the live bus would have delivered it, so replayed alerts match
         online alerts — the determinism property the integration tests
         assert.
+
+        ``spans`` (recorded :class:`~repro.tracing.span.Span` objects)
+        and ``truncations`` let callers that *do* hold the tracing side
+        of a finished campaign — the sharded runner's merge — carry it
+        into the replayed view; they are republished after the sample
+        stream (offline replay cannot interleave them exactly as the
+        live bus did, but the counters and job→span index match).
         """
         service = cls()
+        span_list = list(spans)
+        truncation_list = list(truncations)
         recs = list(records)
         starts = sorted(recs, key=lambda r: (r.start_time, r.job_id))
         ends = sorted(recs, key=lambda r: (r.end_time, r.job_id))
@@ -222,4 +234,10 @@ class TelemetryService:
             service.bus.publish(TOPIC_SAMPLE, SampleTaken(time=sample.time, sample=sample))
         for rec in ends[ei:]:
             service.bus.publish(TOPIC_JOB_END, JobEnded(time=rec.end_time, record=rec))
+        for span in span_list:
+            service.bus.publish(
+                TOPIC_SPAN, SpanFinished(time=span.end or span.start, span=span)
+            )
+        for notice in truncation_list:
+            service.bus.publish(TOPIC_SIM_TRUNCATED, notice)
         return service

@@ -88,6 +88,34 @@ class Span:
             args=dict(row.get("args") or {}),
         )
 
+    def rebase(self, *, time_offset: float = 0.0, id_offset: int = 0) -> "Span":
+        """A copy shifted onto another clock/id space.
+
+        Shard merges use this: shard *k*'s spans keep their internal
+        structure but move to the campaign clock (``time_offset`` =
+        shard start in seconds) and into a disjoint id range
+        (``id_offset`` = ``k × SPAN_ID_STRIDE``), so merged traces stay
+        unique-id'd and sortable by the exporters' ``(start, id)`` key.
+        """
+        return Span(
+            span_id=_offset_id(self.span_id, id_offset),
+            name=self.name,
+            category=self.category,
+            start=self.start + time_offset,
+            end=None if self.end is None else self.end + time_offset,
+            parent_id=(
+                None if self.parent_id is None else _offset_id(self.parent_id, id_offset)
+            ),
+            args=dict(self.args),
+        )
+
+
+def _offset_id(span_id: str, offset: int) -> str:
+    """Shift a tracer-assigned ``s<n>`` id by ``offset``."""
+    if offset == 0:
+        return span_id
+    return f"s{int(span_id[1:]) + offset}"
+
 
 def span_index(
     spans: Iterable[Span],

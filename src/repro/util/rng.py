@@ -26,9 +26,14 @@ class RngStreams:
     False
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, *, spawn_key: tuple[int, ...] = ()) -> None:
         self.seed = int(seed)
-        self._root = np.random.SeedSequence(self.seed)
+        #: Key prefix every named child derives under.  ``()`` is the
+        #: campaign root; shard trees use ``(_SHARD_TAG, shard_id)`` so
+        #: their name-space cannot collide with the root's (child keys
+        #: have different lengths).
+        self.spawn_key = tuple(int(k) for k in spawn_key)
+        self._root = np.random.SeedSequence(self.seed, spawn_key=self.spawn_key)
         self._streams: dict[str, np.random.Generator] = {}
 
     def get(self, name: str) -> np.random.Generator:
@@ -42,7 +47,7 @@ class RngStreams:
         if gen is None:
             child = np.random.SeedSequence(
                 entropy=self._root.entropy,
-                spawn_key=(_stable_hash(name),),
+                spawn_key=(*self.spawn_key, _stable_hash(name)),
             )
             gen = np.random.default_rng(child)
             self._streams[name] = gen
@@ -55,6 +60,29 @@ class RngStreams:
     def names(self) -> list[str]:
         """Names of all streams created so far (for diagnostics)."""
         return sorted(self._streams)
+
+
+#: Spawn-key tag separating shard stream trees from everything else.
+_SHARD_TAG = 0x5348_4152_44  # "SHARD"
+
+
+def spawn_stream(seed: int, shard_id: int) -> RngStreams:
+    """An :class:`RngStreams` tree for one shard of a sharded campaign.
+
+    Shard ``shard_id`` of campaign ``seed`` always receives the same
+    stream tree — independent of how many shards exist, how many worker
+    processes execute them, or in which order they are scheduled.  This
+    is the determinism anchor of :mod:`repro.parallel`: a shard's random
+    draws are a pure function of ``(seed, shard_id)``.
+
+    The shard tree is disjoint from the campaign-root tree
+    (``RngStreams(seed)``) and from every other shard's tree by
+    construction: child spawn keys are ``(tag, shard_id, name_hash)``
+    versus the root's ``(name_hash,)``.
+    """
+    if shard_id < 0:
+        raise ValueError(f"shard_id must be non-negative, got {shard_id}")
+    return RngStreams(seed, spawn_key=(_SHARD_TAG, int(shard_id)))
 
 
 def _stable_hash(name: str) -> int:

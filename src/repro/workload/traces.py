@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.util.rng import RngStreams
+from repro.util.rng import RngStreams, spawn_stream
 from repro.workload.apps import APPLICATIONS, application
 from repro.workload.profile import JobProfile
 from repro.workload.users import DemandModel, UserPopulation
@@ -90,32 +90,96 @@ def generate_trace(
     trace = CampaignTrace(
         seed=seed, n_days=n_days, n_nodes=n_nodes, demand_levels=demand.levels.copy()
     )
-    capacity_per_day = n_nodes * SECONDS_PER_DAY
-
     for day in range(n_days):
-        budget = demand.demand(day) * capacity_per_day
-        spent = 0.0
-        # Guard: a single enormous job may overshoot the budget; allow it
-        # but stop the day there (matches real users, who don't budget).
-        while spent < budget:
-            user = population.pick_user(sub_rng)
-            app = application(user.pick_app(sub_rng))
-            if min(app.node_choices) > n_nodes:
-                continue  # this code cannot run on a small test machine
-            nodes = app.sample_nodes(sub_rng)
-            if nodes > n_nodes:
-                nodes = max(c for c in app.node_choices if c <= n_nodes)
-            profile = app.instantiate(sub_rng, nodes=nodes)
-            t = day * SECONDS_PER_DAY + demand.submit_time_in_day(sub_rng)
-            sub = Submission(
-                time=t,
-                user=user.user_id,
-                app_name=app.name,
-                nodes=profile.nodes,
-                profile=profile,
-            )
-            trace.submissions.append(sub)
-            spent += sub.node_seconds
+        _fill_day(trace, day, demand.demand(day), population, demand, sub_rng)
+
+    trace.submissions.sort(key=lambda s: s.time)
+    return trace
+
+
+def _fill_day(
+    trace: CampaignTrace,
+    day: int,
+    demand_level: float,
+    population: UserPopulation,
+    demand: DemandModel,
+    rng: np.random.Generator,
+) -> None:
+    """Draw one day's submissions into ``trace`` (day indexed within the
+    trace).  Extracted so the serial generator and the per-shard
+    generator share one draw sequence per day."""
+    n_nodes = trace.n_nodes
+    budget = demand_level * n_nodes * SECONDS_PER_DAY
+    spent = 0.0
+    # Guard: a single enormous job may overshoot the budget; allow it
+    # but stop the day there (matches real users, who don't budget).
+    while spent < budget:
+        user = population.pick_user(rng)
+        app = application(user.pick_app(rng))
+        if min(app.node_choices) > n_nodes:
+            continue  # this code cannot run on a small test machine
+        nodes = app.sample_nodes(rng)
+        if nodes > n_nodes:
+            nodes = max(c for c in app.node_choices if c <= n_nodes)
+        profile = app.instantiate(rng, nodes=nodes)
+        t = day * SECONDS_PER_DAY + demand.submit_time_in_day(rng)
+        sub = Submission(
+            time=t,
+            user=user.user_id,
+            app_name=app.name,
+            nodes=profile.nodes,
+            profile=profile,
+        )
+        trace.submissions.append(sub)
+        spent += sub.node_seconds
+
+
+def generate_shard_trace(
+    seed: int,
+    *,
+    shard_id: int,
+    day_start: int,
+    day_end: int,
+    n_days: int,
+    n_nodes: int = 144,
+    n_users: int = 60,
+    demand_mean: float | None = None,
+) -> CampaignTrace:
+    """The submission stream for one day-range shard of a campaign.
+
+    The campaign-level models are shared — the user population and the
+    demand random walk are drawn from the *campaign* seed over the full
+    ``n_days``, so every shard sees the same users and the same global
+    demand shape.  The per-submission draws come from
+    :func:`repro.util.rng.spawn_stream`, so shard ``shard_id``'s
+    submissions are a pure function of ``(seed, shard_id)`` — unaffected
+    by other shards, worker count, or scheduling order.
+
+    Times in the returned trace are *shard-local* (day 0 is
+    ``day_start``); the merge layer offsets them back onto the campaign
+    clock.
+    """
+    if not 0 <= day_start < day_end <= n_days:
+        raise ValueError(
+            f"shard days [{day_start}, {day_end}) outside campaign of {n_days} days"
+        )
+    streams = RngStreams(seed)
+    population = UserPopulation(n_users, streams.get("workload.population"))
+    demand_rng = streams.get("workload.demand")
+    if demand_mean is None:
+        demand = DemandModel(demand_rng, n_days)
+    else:
+        demand = DemandModel(demand_rng, n_days, mean=demand_mean)
+
+    sub_rng = spawn_stream(seed, shard_id).get("workload.submissions")
+    trace = CampaignTrace(
+        seed=seed,
+        n_days=day_end - day_start,
+        n_nodes=n_nodes,
+        demand_levels=demand.levels[day_start:day_end].copy(),
+    )
+    for local_day, day in enumerate(range(day_start, day_end)):
+        _fill_day(trace, local_day, demand.demand(day), population, demand, sub_rng)
 
     trace.submissions.sort(key=lambda s: s.time)
     return trace

@@ -1,0 +1,58 @@
+"""Golden regression tests for the paper-facing artifacts.
+
+Everything here is derived from the *default-seed* 30-day campaign at
+the paper's scale (144 nodes, 60 users): Tables 1–4, the headline
+report, and the ``--json`` campaign summary.  A performance refactor —
+sharding, vectorization, caching — must leave every byte unchanged; an
+intentional model change regenerates the files with ``--update-golden``
+(see tests/golden/conftest.py).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import paper_comparison, table1, table2, table3, table4
+from repro.analysis.export import dataset_to_json
+from repro.analysis.opsreport import campaign_ops_digest
+from repro.analysis.report import headline_report
+
+
+class TestTables:
+    def test_table1(self, golden):
+        golden.check("table1.txt", table1().render() + "\n")
+
+    def test_table2(self, default_month, golden):
+        golden.check("table2.txt", table2(default_month).render() + "\n")
+
+    def test_table3(self, default_month, golden):
+        golden.check("table3.txt", table3(default_month).render() + "\n")
+
+    def test_table4(self, default_month, golden):
+        golden.check("table4.txt", table4(default_month).render() + "\n")
+
+
+class TestHeadlines:
+    def test_headline_report_text(self, default_month, golden):
+        golden.check("headlines.txt", paper_comparison(default_month) + "\n")
+
+    def test_paper_scale_bands(self, default_month):
+        """The abstract's claims: ≈1.3 Gflops sustained ≈ 3% of peak.
+
+        Bands, not exact matches — the golden files pin the bytes; this
+        pins the *physics* so a regenerated golden can't silently drift
+        out of the paper's regime.
+        """
+        by_claim = {h.claim: h for h in headline_report(default_month)}
+        gflops = by_claim["average daily system performance"].measured_value
+        assert 0.9 <= gflops <= 1.6
+        eff = by_claim["system efficiency (of aggregate peak)"].measured_value
+        assert 0.02 <= eff <= 0.045
+        assert by_claim["most popular node count"].measured_value == 16
+        assert 1.3 <= by_claim["FPU0:FPU1 instruction ratio"].measured_value <= 2.2
+
+    def test_json_summary(self, default_month, golden):
+        golden.check("summary.json", dataset_to_json(default_month))
+
+
+class TestOpsDigest:
+    def test_campaign_digest(self, default_month, golden):
+        golden.check("ops_digest.txt", campaign_ops_digest(default_month) + "\n")
