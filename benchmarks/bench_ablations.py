@@ -169,7 +169,9 @@ def test_drain_policy_ablation(benchmark, capsys):
             if started:
                 waits.append(started[0].queue_wait_seconds)
             elif wide_job.job_id in server.running:
-                waits.append(server.running[wide_job.job_id][3] - wide_job.submit_time)
+                waits.append(
+                    server.running[wide_job.job_id].start_time - wide_job.submit_time
+                )
             else:
                 waits.append(float("inf"))  # never started: starved
         return waits[0], waits[1]

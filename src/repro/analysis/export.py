@@ -60,7 +60,7 @@ def dataset_summary(dataset: StudyDataset) -> dict[str, Any]:
         dataset.telemetry.summary() if dataset.telemetry is not None else None
     )
 
-    return {
+    out = {
         "config": {
             "seed": dataset.config.seed,
             "n_days": dataset.config.n_days,
@@ -82,6 +82,13 @@ def dataset_summary(dataset: StudyDataset) -> dict[str, Any]:
         "telemetry": telemetry,
         "headlines": headlines,
     }
+    if dataset.faults is not None:
+        # Key only present on faulted campaigns: healthy summaries stay
+        # byte-identical to pre-fault releases (golden files pin them).
+        from repro.faults.report import fault_summary
+
+        out["faults"] = fault_summary(dataset.faults)
+    return out
 
 
 def dataset_to_json(dataset: StudyDataset, *, indent: int = 2) -> str:

@@ -54,6 +54,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="days per shard for --workers (default 15); implies sharded "
         "execution even with one worker",
     )
+    p.add_argument(
+        "--fault-profile",
+        default=None,
+        metavar="NAME",
+        help="inject faults from a named profile (none, mild, pathological); "
+        "omitted = healthy campaign, byte-identical to earlier releases",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="persist per-shard checkpoints here (crash tolerance; implies "
+        "sharded execution)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="load finished shards from --checkpoint-dir instead of "
+        "recomputing them (resumed output is byte-identical to an "
+        "uninterrupted run)",
+    )
+    p.add_argument(
+        "--shard-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="retry crashed shard workers up to N attempts total (default 3)",
+    )
     p.add_argument("--tables", action="store_true", help="print Tables 1-4")
     p.add_argument("--figures", action="store_true", help="print ASCII Figures 1-5")
     p.add_argument(
@@ -67,25 +96,59 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     t0 = time.time()
-    sharded = args.workers is not None or args.shard_days is not None
+    sharded = (
+        args.workers is not None
+        or args.shard_days is not None
+        or args.checkpoint_dir is not None
+    )
     how = f", {args.workers or 1} workers" if sharded else ""
+    faulty = f", faults={args.fault_profile}" if args.fault_profile else ""
     print(
         f"Running {args.days}-day campaign on {args.nodes} nodes "
-        f"(seed {args.seed}, {args.users} users{how})...",
+        f"(seed {args.seed}, {args.users} users{how}{faulty})...",
         file=sys.stderr,
     )
-    dataset = run_study(
-        args.seed,
-        n_days=args.days,
-        n_nodes=args.nodes,
-        n_users=args.users,
-        workers=args.workers,
-        shard_days=args.shard_days,
-    )
+    try:
+        dataset = run_study(
+            args.seed,
+            n_days=args.days,
+            n_nodes=args.nodes,
+            n_users=args.users,
+            workers=args.workers,
+            shard_days=args.shard_days,
+            fault_profile=args.fault_profile,
+            checkpoint_dir=(
+                str(args.checkpoint_dir) if args.checkpoint_dir is not None else None
+            ),
+            resume=args.resume,
+            shard_attempts=args.shard_attempts,
+        )
+    except Exception as err:  # noqa: BLE001 - operator-facing boundary
+        from repro.parallel.runner import ShardExecutionError
+
+        if isinstance(err, ShardExecutionError):
+            print(f"error: {err}", file=sys.stderr)
+            if args.checkpoint_dir is not None:
+                print(
+                    f"hint: rerun with --checkpoint-dir {args.checkpoint_dir} "
+                    "--resume to pick up from the completed shards",
+                    file=sys.stderr,
+                )
+            return 1
+        raise
     print(f"Campaign done in {time.time() - t0:.1f}s.", file=sys.stderr)
 
     print(paper_comparison(dataset))
+
+    if dataset.faults is not None:
+        from repro.faults.report import availability_table
+
+        print()
+        print(availability_table(dataset.faults).render())
 
     if len(dataset.accounting) == 0:
         # A campaign with no finished jobs measured nothing; exiting 0

@@ -35,6 +35,8 @@ class SP2Machine:
         self._free: set[int] = set(range(n_nodes))
         self._allocations: dict[int, tuple[int, ...]] = {}
         self._next_alloc_id = 0
+        #: Crashed nodes: withheld from allocation until repaired.
+        self._down: set[int] = set()
 
     @property
     def n_nodes(self) -> int:
@@ -72,7 +74,12 @@ class SP2Machine:
         return alloc_id, chosen
 
     def release(self, alloc_id: int) -> tuple[int, ...]:
-        """Return an allocation's nodes to the free pool."""
+        """Return an allocation's nodes to the free pool.
+
+        Crashed nodes stay out of the pool — they rejoin at
+        :meth:`repair_node`, not when the job that died on them is
+        cleaned up.
+        """
         try:
             nodes = self._allocations.pop(alloc_id)
         except KeyError:
@@ -80,14 +87,41 @@ class SP2Machine:
         overlap = self._free.intersection(nodes)
         if overlap:
             raise RuntimeError(f"nodes {sorted(overlap)} double-freed")
-        self._free.update(nodes)
+        self._free.update(n for n in nodes if n not in self._down)
         return nodes
 
     def allocation_nodes(self, alloc_id: int) -> tuple[int, ...]:
         return self._allocations[alloc_id]
 
     def busy_node_ids(self) -> set[int]:
-        return set(range(self.n_nodes)) - self._free
+        return set(range(self.n_nodes)) - self._free - self._down
+
+    # ------------------------------------------------------------------
+    # Failure transitions (driven by repro.faults.injector)
+    # ------------------------------------------------------------------
+    @property
+    def down_node_ids(self) -> set[int]:
+        return set(self._down)
+
+    def crash_node(self, node_id: int) -> None:
+        """Take a node out of service (hardware failure).
+
+        Idle nodes leave the free pool immediately; a node running a job
+        stays in its allocation until the scheduler kills the job, and
+        :meth:`release` then withholds it from the pool.
+        """
+        if not 0 <= node_id < self.n_nodes:
+            raise ValueError(f"no node {node_id} in a {self.n_nodes}-node machine")
+        self._down.add(node_id)
+        self._free.discard(node_id)
+
+    def repair_node(self, node_id: int) -> None:
+        """Return a crashed node to service (and to the free pool)."""
+        if node_id not in self._down:
+            raise ValueError(f"node {node_id} is not down")
+        self._down.discard(node_id)
+        if not any(node_id in nodes for nodes in self._allocations.values()):
+            self._free.add(node_id)
 
     # ------------------------------------------------------------------
     # Sampling support

@@ -56,12 +56,34 @@ class HighPerformanceSwitch:
         #: Span tracer; each accounted message/exchange is recorded with
         #: its modeled duration.
         self.tracer = tracer
+        #: Fabric degradation factor (>= 1): latency is multiplied and
+        #: bandwidth divided by it during a degradation episode
+        #: (driven by :mod:`repro.faults.injector`).
+        self.degradation = 1.0
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.config.latency_seconds * self.degradation
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        return self.config.bandwidth_bytes_per_s / self.degradation
+
+    def degrade(self, factor: float) -> None:
+        """Enter a degradation episode (route faults, contention)."""
+        if factor < 1.0:
+            raise ValueError("degradation factor must be >= 1")
+        self.degradation = factor
+
+    def restore(self) -> None:
+        """Return the fabric to nominal performance."""
+        self.degradation = 1.0
 
     def message_seconds(self, nbytes: float) -> float:
         """Time for one point-to-point message."""
         if nbytes < 0:
             raise ValueError("message size cannot be negative")
-        return self.config.latency_seconds + nbytes / self.config.bandwidth_bytes_per_s
+        return self.latency_seconds + nbytes / self.bandwidth_bytes_per_s
 
     def send(self, nbytes: float) -> MessageCost:
         """Account one message; returns the sender-side cost."""
@@ -97,8 +119,8 @@ class HighPerformanceSwitch:
         if asynchronous:
             # Sends proceed concurrently; latency is paid once and the
             # exposed transfer time shrinks by the overlap factor.
-            seconds = self.config.latency_seconds + (
-                (one - self.config.latency_seconds) * n_neighbors * (1.0 - overlap_fraction)
+            seconds = self.latency_seconds + (
+                (one - self.latency_seconds) * n_neighbors * (1.0 - overlap_fraction)
             )
         else:
             seconds = one * n_neighbors
@@ -123,12 +145,12 @@ class HighPerformanceSwitch:
         if n_nodes < 0:
             raise ValueError("node count cannot be negative")
         if not self.config.per_node_scaling:
-            return self.config.bandwidth_bytes_per_s
-        return self.config.bandwidth_bytes_per_s * n_nodes
+            return self.bandwidth_bytes_per_s
+        return self.bandwidth_bytes_per_s * n_nodes
 
     def global_sync_seconds(self, n_nodes: int) -> float:
         """A barrier/allreduce: log2(n) latency hops."""
         if n_nodes <= 1:
             return 0.0
         hops = max(1, (n_nodes - 1).bit_length())
-        return self.config.latency_seconds * hops
+        return self.latency_seconds * hops

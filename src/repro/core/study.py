@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster.machine import SP2Machine
+from repro.faults.events import FaultLog
+from repro.faults.profile import FaultProfile
 from repro.power2.config import MachineConfig
 from repro.hpm.collector import SAMPLE_INTERVAL_SECONDS, SystemCollector
 from repro.hpm.daemon import NodeDaemon
@@ -25,6 +27,7 @@ from repro.sim.engine import Simulator
 from repro.telemetry.bus import EventBus
 from repro.telemetry.service import TelemetryService
 from repro.tracing.tracer import Tracer
+from repro.util.rng import RngStreams
 from repro.workload.traces import SECONDS_PER_DAY, CampaignTrace, generate_trace
 
 
@@ -44,6 +47,9 @@ class StudyConfig:
     machine_config: MachineConfig | None = None
     #: Override the demand model's mean target load (None = default).
     demand_mean: float | None = None
+    #: Fault-injection profile (None or a null profile = healthy run;
+    #: healthy campaigns are byte-identical to pre-fault releases).
+    fault_profile: FaultProfile | None = None
 
 
 @dataclass
@@ -64,17 +70,26 @@ class StudyDataset:
     events_processed: int = 0
     #: The span tracer the campaign ran with (None = tracing off).
     tracer: Tracer | None = None
+    #: Fault-injection record (None = campaign ran without faults).
+    faults: FaultLog | None = None
 
     # ------------------------------------------------------------------
     # Day-level series (the paper's Figure 1 axes)
     # ------------------------------------------------------------------
     def daily_rates(self) -> list[DerivedRates]:
-        """Per-day derived rates over all nodes (per-node convention)."""
+        """Per-day derived rates over all nodes (per-node convention).
+
+        Intervals are grouped by the calendar day their *start* falls in
+        rather than by position, so collector gaps (dropped passes under
+        fault injection) don't shift later days; a gap-spanning interval
+        simply contributes its counts to the day it started in.
+        """
         out: list[DerivedRates] = []
-        per_day = int(round(SECONDS_PER_DAY / self.config.sample_interval))
-        intervals = self.collector.intervals()
+        grouped: dict[int, list] = {}
+        for iv in self.collector.intervals():
+            grouped.setdefault(int(iv.start // SECONDS_PER_DAY), []).append(iv)
         for d in range(self.config.n_days):
-            chunk = intervals[d * per_day : (d + 1) * per_day]
+            chunk = grouped.get(d)
             if not chunk:
                 break
             totals: dict[str, int] = {}
@@ -135,9 +150,18 @@ class WorkloadStudy:
     """Wires machine, PBS, collector and trace together and runs them."""
 
     def __init__(
-        self, config: StudyConfig | None = None, *, tracer: Tracer | None = None
+        self,
+        config: StudyConfig | None = None,
+        *,
+        tracer: Tracer | None = None,
+        fault_streams: RngStreams | None = None,
     ) -> None:
         self.config = config or StudyConfig()
+        #: RNG tree the fault schedule is drawn from.  ``None`` defaults
+        #: to the root tree for the config's seed; the sharded runner
+        #: passes each shard's spawned tree so shard fault schedules are
+        #: independent yet reproducible.
+        self._fault_streams = fault_streams
         self.sim = Simulator()
         self.machine = SP2Machine(self.config.n_nodes, self.config.machine_config)
         # One bus per campaign: the collector and PBS publish, the
@@ -185,6 +209,18 @@ class WorkloadStudy:
                 f"trace was generated for {trace.n_nodes} nodes, study has {cfg.n_nodes}"
             )
 
+        # Arm fault injection (no-op on healthy campaigns: the injector,
+        # its streams, and its schedule are never built, so the healthy
+        # path draws exactly the same random numbers as before).
+        injector = None
+        profile = cfg.fault_profile
+        if profile is not None and not profile.is_null:
+            from repro.faults.injector import FaultInjector
+
+            streams = self._fault_streams or RngStreams(cfg.seed)
+            injector = FaultInjector(profile, streams)
+            injector.arm(self, trace.horizon_seconds)
+
         # Arm the samplers (baseline sample at t=0 included).
         self.collector.attach(self.sim)
         self._probe_utilization(self.sim)
@@ -229,6 +265,9 @@ class WorkloadStudy:
             telemetry=self.telemetry,
             events_processed=self.sim.events_processed,
             tracer=self.tracer,
+            faults=(
+                injector.finalize(trace.horizon_seconds) if injector is not None else None
+            ),
         )
 
 
@@ -240,6 +279,10 @@ def run_study(
     n_users: int = 60,
     workers: int | None = None,
     shard_days: int | None = None,
+    fault_profile: "FaultProfile | str | None" = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+    shard_attempts: int = 3,
 ) -> StudyDataset:
     """One-call campaign: generate the trace, run it, return the data.
 
@@ -248,10 +291,45 @@ def run_study(
     into day-range shards, executed across worker processes, merged
     deterministically.  The merged output depends on the shard plan but
     never on the worker count.
+
+    ``fault_profile`` (a profile object or a name from
+    :data:`repro.faults.PROFILES`) arms fault injection.
+    ``checkpoint_dir``/``resume``/``shard_attempts`` enable the runner's
+    checkpoint-restart path; they imply the sharded runner even without
+    ``workers``/``shard_days`` (a single-shard plan, still byte-identical
+    to the serial run).
     """
-    cfg = StudyConfig(seed=seed, n_days=n_days, n_nodes=n_nodes, n_users=n_users)
-    if workers is None and shard_days is None:
+    profile = None
+    if fault_profile is not None:
+        profile = (
+            FaultProfile.named(fault_profile)
+            if isinstance(fault_profile, str)
+            else fault_profile
+        )
+        if profile.is_null:
+            profile = None
+    cfg = StudyConfig(
+        seed=seed,
+        n_days=n_days,
+        n_nodes=n_nodes,
+        n_users=n_users,
+        fault_profile=profile,
+    )
+    sharded = (
+        workers is not None
+        or shard_days is not None
+        or checkpoint_dir is not None
+        or resume
+    )
+    if not sharded:
         return WorkloadStudy(cfg).run()
     from repro.parallel.runner import run_parallel_study
 
-    return run_parallel_study(cfg, workers=workers or 1, shard_days=shard_days)
+    return run_parallel_study(
+        cfg,
+        workers=workers or 1,
+        shard_days=shard_days,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        max_attempts=shard_attempts,
+    )

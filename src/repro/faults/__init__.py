@@ -1,0 +1,23 @@
+"""Deterministic fault injection for the measurement campaign.
+
+See docs/FAULTS.md for the model, determinism contract and the
+checkpoint/resume story.
+"""
+
+from repro.faults.events import FaultEvent, FaultLog
+from repro.faults.injector import FaultInjector
+from repro.faults.profile import PROFILES, FaultProfile
+from repro.faults.report import availability_table, fault_summary, render_fault_report
+from repro.faults.schedule import generate_fault_schedule
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultLog",
+    "FaultProfile",
+    "PROFILES",
+    "availability_table",
+    "fault_summary",
+    "generate_fault_schedule",
+    "render_fault_report",
+]

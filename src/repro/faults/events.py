@@ -1,0 +1,218 @@
+"""Fault events and the campaign fault log.
+
+A :class:`FaultEvent` is one point on the campaign's failure timeline
+(drawn ahead of time by :mod:`repro.faults.schedule`); the
+:class:`FaultLog` is the dataset-side record — the event list plus the
+consequence counters (jobs killed/requeued, collector passes dropped)
+and the time integrals (node downtime, degraded switch time, storm
+time) that the availability report derives MTBF/MTTR from.
+
+The time integrals are *finalized per simulation* — clipped at that
+run's horizon — before logs are merged across shards, so a crash left
+unrepaired at a shard boundary accounts its downtime to the shard where
+it happened (each shard's machine starts healthy; see docs/FAULTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+# Event kinds.
+NODE_CRASH = "node.crash"
+NODE_REPAIR = "node.repair"
+SWITCH_DEGRADE = "switch.degrade"
+SWITCH_RESTORE = "switch.restore"
+STORM_START = "storm.start"
+STORM_END = "storm.end"
+COLLECTOR_DROPOUT = "collector.dropout"
+
+KINDS = (
+    NODE_CRASH,
+    NODE_REPAIR,
+    SWITCH_DEGRADE,
+    SWITCH_RESTORE,
+    STORM_START,
+    STORM_END,
+    COLLECTOR_DROPOUT,
+)
+
+#: Alert severity per kind ("down" transitions alarm, recoveries note).
+SEVERITY_BY_KIND = {
+    NODE_CRASH: "critical",
+    NODE_REPAIR: "info",
+    SWITCH_DEGRADE: "warning",
+    SWITCH_RESTORE: "info",
+    STORM_START: "warning",
+    STORM_END: "info",
+    COLLECTOR_DROPOUT: "info",
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault transition on the campaign clock."""
+
+    time: float
+    kind: str
+    #: Node id for node events; None for machine-wide events.
+    target: int | None = None
+    #: Kind-specific magnitude: switch degradation factor, storm memory
+    #: pressure; 0 when not meaningful.
+    value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.time < 0:
+            raise ValueError("fault events cannot precede campaign start")
+
+    @property
+    def key(self) -> str:
+        """Dedup/display key (mirrors the alert-key convention)."""
+        return f"node-{self.target}" if self.target is not None else "system"
+
+    def describe(self) -> str:
+        if self.kind == NODE_CRASH:
+            return f"node {self.target} crashed (daemon unreachable, jobs killed)"
+        if self.kind == NODE_REPAIR:
+            return f"node {self.target} repaired and returned to service"
+        if self.kind == SWITCH_DEGRADE:
+            return f"switch degraded {self.value:g}x (latency up, bandwidth down)"
+        if self.kind == SWITCH_RESTORE:
+            return "switch restored to nominal performance"
+        if self.kind == STORM_START:
+            return f"paging storm: memory pressure {self.value:g}x on new jobs"
+        if self.kind == STORM_END:
+            return "paging storm subsided"
+        return "collector pass lost (gap in the counter series)"
+
+
+@dataclass
+class FaultLog:
+    """Everything a campaign's fault machinery did, merged-friendly."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+    #: Simulated horizon the integrals below were clipped at (summed
+    #: across shards by the merge).
+    horizon_seconds: float = 0.0
+    n_nodes: int = 0
+    # Consequence counters (filled at finalize time from PBS/collector).
+    jobs_killed: int = 0
+    jobs_requeued: int = 0
+    retries_exhausted: int = 0
+    passes_dropped: int = 0
+    # Time integrals, clipped at the horizon.
+    node_down_seconds: float = 0.0
+    switch_degraded_seconds: float = 0.0
+    storm_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def finalize(self, horizon_seconds: float, n_nodes: int) -> None:
+        """Compute the clipped time integrals for one simulation run.
+
+        Must run on shard-local (unmerged) logs: open episodes — a crash
+        with no repair before the horizon — are clipped at *this* run's
+        horizon.
+        """
+        self.horizon_seconds = horizon_seconds
+        self.n_nodes = n_nodes
+        self.node_down_seconds = self._paired_seconds(
+            NODE_CRASH, NODE_REPAIR, horizon_seconds, per_target=True
+        )
+        self.switch_degraded_seconds = self._paired_seconds(
+            SWITCH_DEGRADE, SWITCH_RESTORE, horizon_seconds
+        )
+        self.storm_seconds = self._paired_seconds(STORM_START, STORM_END, horizon_seconds)
+
+    def _paired_seconds(
+        self,
+        start_kind: str,
+        end_kind: str,
+        horizon: float,
+        *,
+        per_target: bool = False,
+    ) -> float:
+        open_at: dict[object, float] = {}
+        total = 0.0
+        for ev in sorted(self.events, key=lambda e: e.time):
+            key = ev.target if per_target else None
+            if ev.kind == start_kind and key not in open_at:
+                open_at[key] = ev.time
+            elif ev.kind == end_kind and key in open_at:
+                total += ev.time - open_at.pop(key)
+        for t0 in open_at.values():
+            total += max(0.0, horizon - t0)
+        return total
+
+    # ------------------------------------------------------------------
+    # Merge support
+    # ------------------------------------------------------------------
+    def rebase(self, time_offset: float) -> "FaultLog":
+        """A copy with every event moved onto the campaign clock."""
+        return FaultLog(
+            events=[replace(ev, time=ev.time + time_offset) for ev in self.events],
+            horizon_seconds=self.horizon_seconds,
+            n_nodes=self.n_nodes,
+            jobs_killed=self.jobs_killed,
+            jobs_requeued=self.jobs_requeued,
+            retries_exhausted=self.retries_exhausted,
+            passes_dropped=self.passes_dropped,
+            node_down_seconds=self.node_down_seconds,
+            switch_degraded_seconds=self.switch_degraded_seconds,
+            storm_seconds=self.storm_seconds,
+        )
+
+    @classmethod
+    def merged(cls, logs: "list[FaultLog]") -> "FaultLog":
+        """Sum of already-finalized (and rebased) shard logs."""
+        out = cls()
+        for log in logs:
+            out.events.extend(log.events)
+            out.horizon_seconds += log.horizon_seconds
+            out.n_nodes = max(out.n_nodes, log.n_nodes)
+            out.jobs_killed += log.jobs_killed
+            out.jobs_requeued += log.jobs_requeued
+            out.retries_exhausted += log.retries_exhausted
+            out.passes_dropped += log.passes_dropped
+            out.node_down_seconds += log.node_down_seconds
+            out.switch_degraded_seconds += log.switch_degraded_seconds
+            out.storm_seconds += log.storm_seconds
+        out.events.sort(key=lambda e: (e.time, e.kind, -1 if e.target is None else e.target))
+        return out
+
+    # ------------------------------------------------------------------
+    # Derived reporting facts
+    # ------------------------------------------------------------------
+    def counts_by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for ev in self.events:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
+    @property
+    def node_crashes(self) -> int:
+        return self.counts_by_kind().get(NODE_CRASH, 0)
+
+    def availability(self) -> float:
+        """Fraction of node-time the nodes were up (1.0 when healthy)."""
+        capacity = self.n_nodes * self.horizon_seconds
+        if capacity <= 0:
+            return 1.0
+        return 1.0 - self.node_down_seconds / capacity
+
+    def observed_mtbf_node_days(self) -> float:
+        """Node-days of exposure per crash (inf with no crashes)."""
+        crashes = self.node_crashes
+        if crashes == 0:
+            return float("inf")
+        exposure_days = self.n_nodes * self.horizon_seconds / 86400.0
+        return exposure_days / crashes
+
+    def observed_mttr_hours(self) -> float:
+        """Mean downtime per crash, hours (0 with no crashes)."""
+        crashes = self.node_crashes
+        if crashes == 0:
+            return 0.0
+        return self.node_down_seconds / 3600.0 / crashes

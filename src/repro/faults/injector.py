@@ -1,0 +1,131 @@
+"""Arm a simulation with its pre-drawn fault schedule.
+
+The :class:`FaultInjector` is the bridge between the pure schedule
+(:mod:`repro.faults.schedule`) and the live machinery: it registers one
+simulator event per fault and, when each fires, drives the affected
+layer through its failure transition:
+
+* **node crash** — the node leaves the allocatable pool
+  (:meth:`SP2Machine.crash_node`), PBS kills and requeues the jobs
+  running on it, the node's counter clock halts (counters *persist* —
+  monotone across repair, exactly what the collector's delta algebra
+  requires), and its RS2HPM daemon stops answering;
+* **node repair** — the reverse, plus a scheduler pass so queued work
+  can take the returned node;
+* **switch degrade/restore** — the fabric-wide degradation factor that
+  PBS folds into newly started jobs' rates and walltimes;
+* **storm start/end** — the scheduler's memory-pressure multiplier (the
+  §6 oversubscription pathology, injected);
+* **collector dropout** — the next cron pass is suppressed, leaving a
+  gap in the sample series.
+
+Every injected event is appended to the run's :class:`FaultLog` and
+published on the telemetry bus, so the streaming side alerts on faults
+the moment they happen.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.faults.events import (
+    COLLECTOR_DROPOUT,
+    NODE_CRASH,
+    NODE_REPAIR,
+    STORM_END,
+    STORM_START,
+    SWITCH_DEGRADE,
+    SWITCH_RESTORE,
+    FaultEvent,
+    FaultLog,
+)
+from repro.faults.profile import FaultProfile
+from repro.faults.schedule import generate_fault_schedule
+from repro.util.rng import RngStreams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.study import WorkloadStudy
+
+
+class FaultInjector:
+    """Drives one simulation run through its fault schedule."""
+
+    def __init__(self, profile: FaultProfile, streams: RngStreams) -> None:
+        self.profile = profile
+        self.streams = streams
+        self.log = FaultLog()
+        self.schedule: list[FaultEvent] = []
+        self._study: "WorkloadStudy | None" = None
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+    def arm(self, study: "WorkloadStudy", horizon_seconds: float) -> None:
+        """Draw the schedule and register every fault on the simulator."""
+        self._study = study
+        self.schedule = generate_fault_schedule(
+            self.profile,
+            self.streams,
+            horizon_seconds=horizon_seconds,
+            n_nodes=study.config.n_nodes,
+            sample_interval=study.config.sample_interval,
+        )
+        study.pbs.max_retries = self.profile.max_job_retries
+        for ev in self.schedule:
+            study.sim.schedule_at(
+                ev.time,
+                lambda sim, e=ev: self._dispatch(e),
+                name=f"fault-{ev.kind}",
+            )
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, ev: FaultEvent) -> None:
+        study = self._study
+        assert study is not None, "injector fired before arm()"
+        now = study.sim.now
+        if ev.kind == NODE_CRASH:
+            nid = ev.target
+            # Withhold the node from allocation *first*, so the kill
+            # path's release() cannot hand the dead node back to the
+            # free pool before the repair.
+            study.machine.crash_node(nid)
+            study.pbs.kill_jobs_on_node(nid)
+            study.machine.node(nid).halt(now)
+            study.daemons[nid].mark_down()
+        elif ev.kind == NODE_REPAIR:
+            nid = ev.target
+            study.machine.node(nid).resume(now)
+            study.daemons[nid].mark_up()
+            study.machine.repair_node(nid)
+            study.pbs.schedule_pass()
+        elif ev.kind == SWITCH_DEGRADE:
+            study.machine.switch.degrade(ev.value)
+        elif ev.kind == SWITCH_RESTORE:
+            study.machine.switch.restore()
+        elif ev.kind == STORM_START:
+            study.pbs.memory_pressure = ev.value
+        elif ev.kind == STORM_END:
+            study.pbs.memory_pressure = 1.0
+        elif ev.kind == COLLECTOR_DROPOUT:
+            study.collector.drop_next_pass()
+        self.log.events.append(ev)
+        if study.bus is not None:
+            from repro.telemetry.bus import TOPIC_FAULT, FaultInjected
+
+            study.bus.publish(TOPIC_FAULT, FaultInjected(time=now, event=ev))
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def finalize(self, horizon_seconds: float) -> FaultLog:
+        """Collect the consequence counters and clip the time integrals."""
+        study = self._study
+        assert study is not None, "finalize before arm()"
+        self.log.jobs_killed = study.pbs.jobs_killed
+        self.log.jobs_requeued = study.pbs.jobs_requeued
+        self.log.retries_exhausted = study.pbs.retries_exhausted
+        self.log.passes_dropped = study.collector.passes_dropped
+        self.log.finalize(horizon_seconds, study.config.n_nodes)
+        return self.log

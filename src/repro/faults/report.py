@@ -1,0 +1,75 @@
+"""Availability / MTBF reporting over a campaign's fault log.
+
+The Blue Waters-style operator questions: what fraction of node-time
+was the machine actually up, how often did nodes fail, how long did
+repairs take, and what did the faults cost the workload (kills,
+requeues, lost collector passes)?
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.faults.events import FaultLog
+from repro.util.tables import Table
+
+
+def _fmt_or_dash(value: float, fmt: str) -> str:
+    if not math.isfinite(value):
+        return "-"
+    return fmt.format(value)
+
+
+def availability_table(log: FaultLog) -> Table:
+    """The campaign availability / MTBF / MTTR summary table."""
+    t = Table(
+        title="Campaign availability (fault-injection summary)",
+        columns=("quantity", "value", "unit"),
+    )
+    t.add_section("availability")
+    t.add_row("node availability", f"{log.availability():.4%}", "of node-time")
+    t.add_row("node downtime", f"{log.node_down_seconds / 3600:.1f}", "node-hours")
+    t.add_row(
+        "switch degraded", f"{log.switch_degraded_seconds / 3600:.1f}", "hours"
+    )
+    t.add_row("paging storms", f"{log.storm_seconds / 3600:.1f}", "hours")
+    t.add_section("failure processes")
+    t.add_row("node crashes", log.node_crashes, "events")
+    t.add_row(
+        "observed MTBF",
+        _fmt_or_dash(log.observed_mtbf_node_days(), "{:.1f}"),
+        "node-days/crash",
+    )
+    t.add_row(
+        "observed MTTR", _fmt_or_dash(log.observed_mttr_hours(), "{:.2f}"), "hours"
+    )
+    t.add_section("workload impact")
+    t.add_row("jobs killed", log.jobs_killed, "jobs")
+    t.add_row("jobs requeued", log.jobs_requeued, "jobs")
+    t.add_row("retries exhausted", log.retries_exhausted, "jobs")
+    t.add_row("collector passes dropped", log.passes_dropped, "passes")
+    return t
+
+
+def fault_summary(log: FaultLog) -> dict:
+    """JSON-ready fault block for the campaign summary export."""
+    mtbf = log.observed_mtbf_node_days()
+    return {
+        "events_total": len(log.events),
+        "events_by_kind": log.counts_by_kind(),
+        "availability": log.availability(),
+        "node_down_hours": log.node_down_seconds / 3600.0,
+        "switch_degraded_hours": log.switch_degraded_seconds / 3600.0,
+        "storm_hours": log.storm_seconds / 3600.0,
+        "observed_mtbf_node_days": mtbf if math.isfinite(mtbf) else None,
+        "observed_mttr_hours": log.observed_mttr_hours(),
+        "jobs_killed": log.jobs_killed,
+        "jobs_requeued": log.jobs_requeued,
+        "retries_exhausted": log.retries_exhausted,
+        "passes_dropped": log.passes_dropped,
+    }
+
+
+def render_fault_report(log: FaultLog) -> str:
+    """The availability table as operator-facing text."""
+    return availability_table(log).render()

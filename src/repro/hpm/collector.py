@@ -15,6 +15,7 @@ vectorized (profiled: the dict-based path was 30× slower).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -74,6 +75,11 @@ class IntervalCounts:
     end: float
     totals: dict[str, int]
     n_nodes: int
+    #: True when this interval spans one or more dropped collector
+    #: passes: its counts are real (the counters kept accumulating) but
+    #: cover more than one cadence period, so per-interval *rates* are
+    #: effectively interpolated across the gap.
+    interpolated: bool = False
 
     @property
     def seconds(self) -> float:
@@ -112,22 +118,39 @@ class SampleSeries:
     ``samples`` / ``intervals()`` surface the analysis layer consumes.
     """
 
-    def __init__(self, samples: "list[SystemSample] | None" = None) -> None:
+    def __init__(
+        self,
+        samples: "list[SystemSample] | None" = None,
+        *,
+        cadence: float | None = None,
+    ) -> None:
         self.samples: list[SystemSample] = samples if samples is not None else []
         self._intervals_cache: list[IntervalCounts] | None = None
+        #: Nominal sample spacing; intervals spanning well over one
+        #: cadence period (dropped passes) are flagged interpolated.
+        #: ``None`` disables flagging.
+        self.cadence = cadence
 
     def intervals(self) -> list[IntervalCounts]:
         """Counter deltas between consecutive samples, summed over the
         nodes present in both (a node missing from either is skipped for
-        that interval, as the real scripts had to do)."""
+        that interval, as the real scripts had to do).  With a known
+        cadence, intervals spanning a collector gap carry
+        ``interpolated=True``."""
         if self._intervals_cache is not None:
             return self._intervals_cache
-        out = [
-            sample_delta(before, after)
-            for before, after in zip(self.samples, self.samples[1:])
-        ]
+        out: list[IntervalCounts] = []
+        for before, after in zip(self.samples, self.samples[1:]):
+            iv = sample_delta(before, after)
+            if self.cadence is not None and iv.seconds > self.cadence * 1.5:
+                iv = dataclasses.replace(iv, interpolated=True)
+            out.append(iv)
         self._intervals_cache = out
         return out
+
+    def gap_intervals(self) -> list[IntervalCounts]:
+        """The intervals that span dropped collector passes."""
+        return [iv for iv in self.intervals() if iv.interpolated]
 
     def interval_matrix(self, counter: str) -> tuple[np.ndarray, np.ndarray]:
         """(interval end times, per-interval summed counts) for one
@@ -151,7 +174,7 @@ class SystemCollector(SampleSeries):
     ) -> None:
         if not daemons:
             raise ValueError("collector needs at least one node daemon")
-        super().__init__()
+        super().__init__(cadence=interval)
         self.daemons = daemons
         self.interval = interval
         self.bus = bus
@@ -162,14 +185,38 @@ class SystemCollector(SampleSeries):
         #: Nodes unreachable as of the latest pass (transition tracking
         #: for the node.down / node.up bus topics).
         self._down: set[int] = set()
+        #: Fault-injection hook: when set, the next cron pass is lost
+        #: (no sample stored) — the §3 pipeline's missing data files.
+        self._drop_next = False
+        self.passes_dropped = 0
 
     def attach(self, sim: Simulator) -> PeriodicTask:
         """Arm the cron job; also takes the t=0 baseline sample."""
         self.collect(sim.now)
         return PeriodicTask(sim, self.interval, lambda s: self.collect(s.now), name="rs2hpm-cron")
 
-    def collect(self, now: float) -> SystemSample:
-        """One cron pass over all node daemons."""
+    def drop_next_pass(self) -> None:
+        """Suppress the next cron pass (fault injection)."""
+        self._drop_next = True
+
+    def collect(self, now: float) -> SystemSample | None:
+        """One cron pass over all node daemons.
+
+        Returns ``None`` (and stores nothing) when the pass was dropped
+        by fault injection; the next successful pass's interval then
+        spans the gap and is flagged interpolated.
+        """
+        if self._drop_next:
+            self._drop_next = False
+            self.passes_dropped += 1
+            if self.bus is not None:
+                from repro.telemetry.bus import TOPIC_COLLECTOR_GAP, CollectorGap
+
+                self.bus.publish(
+                    TOPIC_COLLECTOR_GAP,
+                    CollectorGap(time=now, passes_dropped=self.passes_dropped),
+                )
+            return None
         if self.tracer is None or not self.tracer.enabled:
             return self._collect(now)
         from repro.tracing.span import CAT_HPM

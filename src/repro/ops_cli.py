@@ -44,17 +44,44 @@ def add_campaign_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--days", type=_positive_int, default=3, help="campaign length in days")
     p.add_argument("--nodes", type=_positive_int, default=144, help="cluster size")
     p.add_argument("--users", type=_positive_int, default=60, help="user population size")
+    p.add_argument(
+        "--fault-profile",
+        default=None,
+        metavar="NAME",
+        help="inject faults from a named profile (none, mild, pathological)",
+    )
+    p.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="replay the campaign through the sharded runner on N workers",
+    )
+    p.add_argument(
+        "--shard-days",
+        type=_positive_int,
+        default=None,
+        metavar="K",
+        help="days per shard for --workers",
+    )
 
 
 def run_campaign(args: argparse.Namespace) -> StudyDataset:
     t0 = time.time()
+    faulty = f", faults={args.fault_profile}" if args.fault_profile else ""
     print(
         f"Replaying {args.days}-day campaign on {args.nodes} nodes "
-        f"(seed {args.seed}, {args.users} users)...",
+        f"(seed {args.seed}, {args.users} users{faulty})...",
         file=sys.stderr,
     )
     dataset = run_study(
-        args.seed, n_days=args.days, n_nodes=args.nodes, n_users=args.users
+        args.seed,
+        n_days=args.days,
+        n_nodes=args.nodes,
+        n_users=args.users,
+        workers=args.workers,
+        shard_days=args.shard_days,
+        fault_profile=args.fault_profile,
     )
     print(f"Replay done in {time.time() - t0:.1f}s.", file=sys.stderr)
     return dataset
@@ -74,9 +101,20 @@ def _telemetry(dataset: StudyDataset) -> TelemetryService:
 
 def cmd_alerts(dataset: StudyDataset, args: argparse.Namespace) -> int:
     t = _telemetry(dataset)
+    if len(dataset.collector.samples) == 0:
+        # A campaign with zero samples watched nothing: exiting 0 would
+        # let a broken collector read as "no alerts, all healthy".
+        print(
+            "error: campaign produced zero collector samples — nothing was "
+            "monitored (check --days / the collector cadence)",
+            file=sys.stderr,
+        )
+        return 1
     alerts = t.alerts
     if args.rule:
-        known = {r.name for r in t.engine.rules}
+        # "fault" alerts come straight from the injector, not from an
+        # engine rule — still a filterable rule name here.
+        known = {r.name for r in t.engine.rules} | {"fault"}
         if args.rule not in known:
             print(
                 f"unknown rule {args.rule!r}; available: {', '.join(sorted(known))}",

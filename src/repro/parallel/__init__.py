@@ -12,6 +12,12 @@ scheduling order.  See docs/PARALLEL.md for the shard model, the RNG
 spawning scheme, and the boundary semantics.
 """
 
+from repro.parallel.checkpoint import (
+    CHECKPOINT_VERSION,
+    config_fingerprint,
+    load_shard_result,
+    save_shard_result,
+)
 from repro.parallel.merge import (
     JOB_ID_STRIDE,
     SPAN_ID_STRIDE,
@@ -19,20 +25,35 @@ from repro.parallel.merge import (
     merge_shard_results,
 )
 from repro.parallel.plan import DEFAULT_SHARD_DAYS, Shard, plan_shards
-from repro.parallel.runner import execute_shards, run_parallel_study
-from repro.parallel.worker import ShardResult, run_shard, shard_trace
+from repro.parallel.runner import (
+    ShardExecutionError,
+    execute_shards,
+    run_parallel_study,
+)
+from repro.parallel.worker import (
+    ShardResult,
+    SimulatedWorkerCrash,
+    run_shard,
+    shard_trace,
+)
 
 __all__ = [
+    "CHECKPOINT_VERSION",
     "DEFAULT_SHARD_DAYS",
     "JOB_ID_STRIDE",
     "SPAN_ID_STRIDE",
     "MergedSampleSeries",
     "Shard",
+    "ShardExecutionError",
     "ShardResult",
+    "SimulatedWorkerCrash",
+    "config_fingerprint",
     "execute_shards",
+    "load_shard_result",
     "merge_shard_results",
     "plan_shards",
     "run_parallel_study",
     "run_shard",
+    "save_shard_result",
     "shard_trace",
 ]

@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.study import StudyConfig, StudyDataset
+from repro.faults.events import FaultLog
 from repro.hpm.collector import SampleSeries, SystemSample
 from repro.parallel.worker import ShardResult
 from repro.pbs.accounting import AccountingLog
@@ -146,6 +147,21 @@ def merge_spans(results: list[ShardResult]) -> list:
     return merged
 
 
+def merge_faults(results: list[ShardResult]) -> FaultLog | None:
+    """Shard fault logs on the campaign clock, summed.
+
+    Each shard's log was already finalized (integrals clipped at the
+    shard horizon), so the merge is pure addition; None when no shard
+    ran with fault injection.
+    """
+    logs = [
+        res.faults.rebase(res.shard.start_seconds)
+        for res in results
+        if res.faults is not None
+    ]
+    return FaultLog.merged(logs) if logs else None
+
+
 def merge_trace(config: StudyConfig, results: list[ShardResult]) -> CampaignTrace:
     """The campaign-wide submission trace the shards realized."""
     submissions = []
@@ -188,21 +204,32 @@ def merge_shard_results(
 
     samples = merge_samples(results)
     records = merge_records(results)
-    collector = MergedSampleSeries(samples)
+    collector = MergedSampleSeries(samples, cadence=config.sample_interval)
     accounting = AccountingLog()
     for r in records:
         accounting.append(r)
 
     spans = merge_spans(results) if tracing else []
     truncations = [n for res in results for n in res.truncations]
+    faults = merge_faults(results)
 
     service = None
     if telemetry:
         from repro.telemetry.service import TelemetryService
 
         service = TelemetryService.replay(
-            samples, records, spans=spans, truncations=truncations
+            samples,
+            records,
+            spans=spans,
+            truncations=truncations,
+            faults=faults.events if faults is not None else (),
         )
+        if faults is not None:
+            # Replay sees fault *events* but not the live side effects
+            # (kill notices, dropped passes); carry the counters over so
+            # the merged summary matches the live view.
+            service.jobs_killed_seen = faults.jobs_killed
+            service.collector_gaps_seen = faults.passes_dropped
 
     tracer = None
     if tracing:
@@ -220,4 +247,5 @@ def merge_shard_results(
         telemetry=service,
         events_processed=sum(r.events_processed for r in results),
         tracer=tracer,
+        faults=faults,
     )

@@ -12,17 +12,43 @@
   realization of the same campaign distribution: each shard's
   submissions come from its own spawned stream, and PBS queues drain at
   shard boundaries (see docs/PARALLEL.md for the boundary semantics).
+
+Resilience (docs/FAULTS.md): with a ``checkpoint_dir``, each worker
+persists its shard result the moment it finishes; a worker crash mid
+campaign loses only the in-flight shards.  The runner detects the broken
+pool, backs off exponentially, reloads whatever the dead batch managed
+to checkpoint, and retries the remainder — and because shard results are
+pure functions of ``(config, shard, n_shards)``, an interrupted-then
+resumed campaign merges to output byte-identical to an uninterrupted
+one.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.core.study import StudyConfig, StudyDataset
+from repro.parallel.checkpoint import config_fingerprint, load_shard_result
 from repro.parallel.merge import merge_shard_results
 from repro.parallel.plan import Shard, plan_shards
-from repro.parallel.worker import ShardResult, _run_shard_task, run_shard
+from repro.parallel.worker import ShardResult, SimulatedWorkerCrash, _run_shard_task
+
+
+class ShardExecutionError(RuntimeError):
+    """Shards still failing after every retry attempt."""
+
+    def __init__(self, shard_indices: list[int], attempts: int) -> None:
+        self.shard_indices = shard_indices
+        self.attempts = attempts
+        super().__init__(
+            f"shards {shard_indices} failed after {attempts} attempt(s); "
+            "completed shards are checkpointed — fix the cause and rerun "
+            "with resume"
+        )
 
 
 def _pool_context(start_method: str | None) -> multiprocessing.context.BaseContext:
@@ -37,6 +63,39 @@ def _pool_context(start_method: str | None) -> multiprocessing.context.BaseConte
     return multiprocessing.get_context(start_method)
 
 
+def _run_batch(
+    payloads: list[tuple],
+    *,
+    workers: int,
+    start_method: str | None,
+) -> "list[ShardResult | None]":
+    """One attempt over a batch of shard payloads, index-aligned.
+
+    A crashed worker (``os._exit`` → ``BrokenProcessPool``) or an
+    in-process simulated crash yields ``None`` in that slot; completed
+    slots keep their results, so one dying worker doesn't discard its
+    siblings' finished work.
+    """
+    results: "list[ShardResult | None]" = [None] * len(payloads)
+    n_procs = min(workers, len(payloads))
+    if n_procs <= 1:
+        for i, payload in enumerate(payloads):
+            try:
+                results[i] = _run_shard_task(payload)
+            except SimulatedWorkerCrash:
+                results[i] = None
+        return results
+    ctx = _pool_context(start_method)
+    with ProcessPoolExecutor(max_workers=n_procs, mp_context=ctx) as pool:
+        futures = [pool.submit(_run_shard_task, payload) for payload in payloads]
+        for i, future in enumerate(futures):
+            try:
+                results[i] = future.result()
+            except (BrokenProcessPool, SimulatedWorkerCrash):
+                results[i] = None
+    return results
+
+
 def execute_shards(
     config: StudyConfig,
     shards: list[Shard],
@@ -44,20 +103,80 @@ def execute_shards(
     workers: int = 1,
     tracing: bool = False,
     start_method: str | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+    max_attempts: int = 3,
+    backoff_seconds: float = 1.0,
 ) -> list[ShardResult]:
     """Run every shard, in-process or across a worker pool.
 
-    Results are returned in shard-index order regardless of completion
-    order (``Pool.map`` preserves input order), so the merge sees the
-    same sequence either way.
+    Results come back in shard-index order regardless of completion
+    order, so the merge sees the same sequence either way.  With a
+    ``checkpoint_dir``, finished shards are persisted worker-side and —
+    when ``resume`` is set — loaded instead of recomputed.  Failed
+    shards are retried up to ``max_attempts`` times total, sleeping
+    ``backoff_seconds × 2^(attempt-1)`` between attempts; shards still
+    failing then raise :class:`ShardExecutionError`.
     """
-    payloads = [(config, shard, len(shards), tracing) for shard in shards]
-    n_procs = min(workers, len(shards))
-    if n_procs <= 1:
-        return [run_shard(config, shard, len(shards), tracing=tracing) for shard in shards]
-    ctx = _pool_context(start_method)
-    with ctx.Pool(processes=n_procs) as pool:
-        return pool.map(_run_shard_task, payloads)
+    if max_attempts < 1:
+        raise ValueError(f"max_attempts must be at least 1, got {max_attempts}")
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume requires a checkpoint_dir")
+    n_shards = len(shards)
+    fingerprint = ""
+    if checkpoint_dir is not None:
+        fingerprint = config_fingerprint(config, n_shards)
+        os.makedirs(checkpoint_dir, exist_ok=True)
+
+    done: dict[int, ShardResult] = {}
+    if resume and checkpoint_dir is not None:
+        for shard in shards:
+            cached = load_shard_result(checkpoint_dir, fingerprint, shard.index)
+            if cached is not None:
+                done[shard.index] = cached
+
+    pending = [s for s in shards if s.index not in done]
+    attempt = 0
+    while pending:
+        attempt += 1
+        if attempt > 1:
+            delay = backoff_seconds * 2 ** (attempt - 2)
+            if delay > 0:
+                time.sleep(delay)
+        payloads = [
+            (
+                config,
+                shard,
+                n_shards,
+                tracing,
+                checkpoint_dir if checkpoint_dir is not None else None,
+                fingerprint,
+            )
+            for shard in pending
+        ]
+        batch = _run_batch(payloads, workers=workers, start_method=start_method)
+        failed: list[Shard] = []
+        for shard, result in zip(pending, batch):
+            if result is not None:
+                done[shard.index] = result
+            else:
+                failed.append(shard)
+        if failed and checkpoint_dir is not None:
+            # A broken pool loses every still-queued future, but workers
+            # checkpoint results themselves — harvest what the dead
+            # batch actually finished before recomputing.
+            still_failed = []
+            for shard in failed:
+                cached = load_shard_result(checkpoint_dir, fingerprint, shard.index)
+                if cached is not None:
+                    done[shard.index] = cached
+                else:
+                    still_failed.append(shard)
+            failed = still_failed
+        pending = failed
+        if pending and attempt >= max_attempts:
+            raise ShardExecutionError([s.index for s in pending], attempt)
+    return [done[s.index] for s in shards]
 
 
 def run_parallel_study(
@@ -68,6 +187,10 @@ def run_parallel_study(
     tracing: bool = False,
     telemetry: bool = True,
     start_method: str | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+    max_attempts: int = 3,
+    backoff_seconds: float = 1.0,
 ) -> StudyDataset:
     """Run a campaign as independent day-range shards and merge.
 
@@ -88,10 +211,25 @@ def run_parallel_study(
         Rebuild the streaming telemetry view over the merged streams
         (deterministic replay).  ``False`` skips it; the analysis layer
         falls back to the accounting log, byte-identically.
+    checkpoint_dir:
+        Directory for per-shard checkpoint files (crash tolerance).
+    resume:
+        Load valid checkpoints from ``checkpoint_dir`` instead of
+        recomputing those shards.
+    max_attempts / backoff_seconds:
+        Retry policy for crashed shard workers (exponential backoff).
     """
     config = config or StudyConfig()
     shards = plan_shards(config.n_days, shard_days)
     results = execute_shards(
-        config, shards, workers=workers, tracing=tracing, start_method=start_method
+        config,
+        shards,
+        workers=workers,
+        tracing=tracing,
+        start_method=start_method,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        max_attempts=max_attempts,
+        backoff_seconds=backoff_seconds,
     )
     return merge_shard_results(config, results, telemetry=telemetry, tracing=tracing)

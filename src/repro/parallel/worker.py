@@ -10,16 +10,20 @@ doesn't (no buses, no live services, no closures).
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.study import StudyConfig, WorkloadStudy
+from repro.faults.events import FaultLog
 from repro.hpm.collector import SystemSample
 from repro.parallel.plan import Shard
 from repro.pbs.job import JobRecord
 from repro.telemetry.bus import SimTruncated
+from repro.util.rng import spawn_stream
 from repro.workload.traces import (
     CampaignTrace,
     Submission,
@@ -29,6 +33,15 @@ from repro.workload.traces import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.tracing.span import Span
+
+#: Set to a shard index to make that shard's worker die before it runs —
+#: the test/CI hook for exercising crashed-worker detection and resume.
+CRASH_ENV_VAR = "REPRO_CRASH_SHARD"
+
+
+class SimulatedWorkerCrash(RuntimeError):
+    """Raised (in-process) or simulated via ``os._exit`` (in a worker
+    subprocess) when :data:`CRASH_ENV_VAR` targets the current shard."""
 
 
 @dataclass
@@ -51,6 +64,8 @@ class ShardResult:
     spans: "list[Span]" = field(default_factory=list)
     #: ``sim.truncated`` notices (normally empty).
     truncations: list[SimTruncated] = field(default_factory=list)
+    #: The shard's finalized fault log (None on healthy campaigns).
+    faults: FaultLog | None = None
 
 
 def shard_trace(config: StudyConfig, shard: Shard, n_shards: int) -> CampaignTrace:
@@ -93,7 +108,19 @@ def run_shard(
         from repro.tracing.tracer import Tracer
 
         tracer = Tracer()
-    study = WorkloadStudy(shard_config, tracer=tracer)
+    # A multi-shard campaign draws each shard's fault schedule from the
+    # shard's spawned tree — same identity as its submission trace — so
+    # fault realizations never depend on worker count or run order.  The
+    # single-shard plan leaves it None: WorkloadStudy then uses the
+    # campaign-root tree, byte-identical to the serial path.
+    fault_streams = None
+    if (
+        n_shards > 1
+        and config.fault_profile is not None
+        and not config.fault_profile.is_null
+    ):
+        fault_streams = spawn_stream(config.seed, shard.index)
+    study = WorkloadStudy(shard_config, tracer=tracer, fault_streams=fault_streams)
     study.sim.label = f"shard{shard.index}[{shard.day_start}:{shard.day_end}]"
     dataset = study.run(trace)
     return ShardResult(
@@ -108,10 +135,47 @@ def run_shard(
         truncations=(
             list(dataset.telemetry.truncations) if dataset.telemetry is not None else []
         ),
+        faults=dataset.faults,
     )
 
 
+def _maybe_simulated_crash(shard_index: int, checkpoint_dir: str | None) -> None:
+    """Die if :data:`CRASH_ENV_VAR` targets this shard (once per marker).
+
+    With a checkpoint directory, a ``.crashed-<index>`` marker records
+    that the crash already happened so the retry succeeds — modelling a
+    transient node loss.  Without one, the crash repeats every attempt
+    (a hard-down worker).  In a subprocess the death is ``os._exit``,
+    which the executor surfaces as a broken pool — exactly what a
+    SIGKILLed worker looks like; in-process it raises instead.
+    """
+    target = os.environ.get(CRASH_ENV_VAR)
+    if target is None or int(target) != shard_index:
+        return
+    if checkpoint_dir is not None:
+        marker = os.path.join(checkpoint_dir, f".crashed-{shard_index}")
+        if os.path.exists(marker):
+            return
+        os.makedirs(checkpoint_dir, exist_ok=True)
+        with open(marker, "w") as fh:
+            fh.write("simulated worker crash\n")
+    if multiprocessing.parent_process() is not None:
+        os._exit(3)
+    raise SimulatedWorkerCrash(f"simulated crash of shard {shard_index} worker")
+
+
 def _run_shard_task(payload: tuple) -> ShardResult:
-    """Top-level pool entry point (must be picklable by name)."""
-    config, shard, n_shards, tracing = payload
-    return run_shard(config, shard, n_shards, tracing=tracing)
+    """Top-level pool entry point (must be picklable by name).
+
+    Writes the shard's checkpoint *in the worker* the moment the shard
+    finishes, so completed work survives even if the parent (or a
+    sibling worker) dies before collecting the result.
+    """
+    config, shard, n_shards, tracing, checkpoint_dir, fingerprint = payload
+    _maybe_simulated_crash(shard.index, checkpoint_dir)
+    result = run_shard(config, shard, n_shards, tracing=tracing)
+    if checkpoint_dir is not None:
+        from repro.parallel.checkpoint import save_shard_result
+
+        save_shard_result(checkpoint_dir, fingerprint, result)
+    return result

@@ -41,6 +41,8 @@ class JobState(enum.Enum):
     QUEUED = "Q"
     RUNNING = "R"
     EXITED = "E"
+    #: Killed by a node failure with no retries left (never requeued).
+    KILLED = "K"
 
 
 @dataclass
@@ -54,6 +56,8 @@ class JobSpec:
     submit_time: float
     profile: ExecutionProfile
     state: JobState = JobState.QUEUED
+    #: How many times a node failure has sent this job back to the queue.
+    retries: int = 0
 
     def __post_init__(self) -> None:
         if self.nodes_requested <= 0:

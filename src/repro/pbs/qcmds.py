@@ -83,7 +83,8 @@ class PBSCommands:
             )
             for j in self.server.queue.queued_jobs()
         ]
-        for job, _, _, start, _ in self.server.running.values():
+        for rj in self.server.running.values():
+            job = rj.job
             rows.append(
                 QstatRow(
                     job_id=job.job_id,
@@ -91,7 +92,7 @@ class PBSCommands:
                     user=job.user,
                     nodes=job.nodes_requested,
                     state=job.state.value,
-                    elapsed_seconds=now - start,
+                    elapsed_seconds=now - rj.start_time,
                 )
             )
         return rows

@@ -20,6 +20,7 @@ reaches the counters.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
@@ -110,6 +111,23 @@ def phase_segments(
     return [(name, seconds) for name, seconds in segments if seconds > 0.0]
 
 
+@dataclass
+class RunningJob:
+    """Everything the server holds about one job in execution."""
+
+    job: JobSpec
+    alloc_id: int
+    node_ids: tuple[int, ...]
+    start_time: float
+    #: Per-node prologue counter snapshots (§3).
+    prologue: dict[int, dict[str, int]]
+    #: The scheduled epilogue event — cancelled if the job is killed.
+    end_event: "object | None" = None
+    #: Effective per-node memory demand (profile demand × any storm
+    #: pressure at start time); released symmetrically at end/kill.
+    memory_per_node: float = 0.0
+
+
 class PBSServer:
     """Job manager for one :class:`~repro.cluster.machine.SP2Machine`."""
 
@@ -133,12 +151,21 @@ class PBSServer:
         #: Span tracer; each job grows one span tree (root at submit,
         #: queued/running states, phase attribution at epilogue).
         self.tracer = tracer
-        self.running: dict[int, tuple[JobSpec, int, tuple[int, ...], float, dict]] = {}
+        self.running: dict[int, RunningJob] = {}
         #: Open (root, state) spans per traced job id.
         self._job_spans: dict[int, tuple["Span", "Span"]] = {}
         self._next_job_id = 1
         #: Optional observer called with each finished JobRecord.
         self.on_job_end: Callable[[JobRecord], None] | None = None
+        # Failure handling (driven by repro.faults.injector).
+        #: How many times a node-failure kill may requeue a job.
+        self.max_retries = 3
+        #: Memory-demand multiplier applied to newly started jobs
+        #: (paging-storm episodes set it above 1).
+        self.memory_pressure = 1.0
+        self.jobs_killed = 0
+        self.jobs_requeued = 0
+        self.retries_exhausted = 0
 
     # ------------------------------------------------------------------
     # Submission
@@ -161,24 +188,28 @@ class PBSServer:
         )
         self._next_job_id += 1
         self.queue.submit(job)
-        if self.tracer is not None and self.tracer.enabled:
-            from repro.tracing.span import CAT_JOB, CAT_JOB_STATE
-
-            # One tree per job: the root is deliberately unparented so a
-            # job's whole life is a self-contained trace process.
-            root = self.tracer.begin(
-                f"job-{job.job_id}",
-                CAT_JOB,
-                parent=None,
-                job_id=job.job_id,
-                user=user,
-                app=app_name,
-                nodes=nodes,
-            )
-            queued = self.tracer.begin("queued", CAT_JOB_STATE, parent=root)
-            self._job_spans[job.job_id] = (root, queued)
+        self._open_job_spans(job)
         self.schedule_pass()
         return job
+
+    def _open_job_spans(self, job: JobSpec) -> None:
+        if self.tracer is None or not self.tracer.enabled:
+            return
+        from repro.tracing.span import CAT_JOB, CAT_JOB_STATE
+
+        # One tree per job: the root is deliberately unparented so a
+        # job's whole life is a self-contained trace process.
+        root = self.tracer.begin(
+            f"job-{job.job_id}",
+            CAT_JOB,
+            parent=None,
+            job_id=job.job_id,
+            user=job.user,
+            app=job.app_name,
+            nodes=job.nodes_requested,
+        )
+        queued = self.tracer.begin("queued", CAT_JOB_STATE, parent=root)
+        self._job_spans[job.job_id] = (root, queued)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -211,10 +242,26 @@ class PBSServer:
         job.state = JobState.RUNNING
 
         profile = job.profile
-        demand = profile.memory_bytes_per_node
+        # A paging storm inflates every starting job's resident demand —
+        # the injected §6 oversubscription pathology.
+        demand = profile.memory_bytes_per_node * self.memory_pressure
         user, system, _ = apply_paging_to_rates(
             profile.user_rates, profile.system_rates, demand, self.machine.config
         )
+        flops_per_s = profile.mflops_per_node * 1e6
+        walltime = profile.walltime_seconds
+
+        # A degraded switch stretches the communication share of the
+        # job's wall time; user-mode progress slows by the same factor
+        # (total user counts are conserved: rate/slow × wall×slow).
+        degradation = self.machine.switch.degradation
+        if degradation > 1.0:
+            comm = getattr(profile, "comm_fraction", 0.0)
+            slow = 1.0 + comm * (degradation - 1.0)
+            if slow > 1.0:
+                user = user / slow
+                flops_per_s /= slow
+                walltime *= slow
 
         # Prologue: snapshot counters on each allocated node (§3).
         prologue: dict[int, dict[str, int]] = {}
@@ -223,11 +270,17 @@ class PBSServer:
             node.sync(now)
             prologue[nid] = node.snapshot()
             node.assign_memory(demand)
-            node.install_rates(
-                now, user, system, busy=True, flops_per_s=profile.mflops_per_node * 1e6
-            )
+            node.install_rates(now, user, system, busy=True, flops_per_s=flops_per_s)
 
-        self.running[job.job_id] = (job, alloc_id, node_ids, now, prologue)
+        running = RunningJob(
+            job=job,
+            alloc_id=alloc_id,
+            node_ids=node_ids,
+            start_time=now,
+            prologue=prologue,
+            memory_per_node=demand,
+        )
+        self.running[job.job_id] = running
         if job.job_id in self._job_spans:
             from repro.tracing.span import CAT_JOB_SNAPSHOT, CAT_JOB_STATE
 
@@ -254,15 +307,17 @@ class PBSServer:
                     node_ids=node_ids,
                 ),
             )
-        self.sim.schedule(
-            profile.walltime_seconds,
+        running.end_event = self.sim.schedule(
+            walltime,
             lambda sim, job_id=job.job_id: self._end_job(job_id),
             name=f"end-job-{job.job_id}",
         )
 
     def _end_job(self, job_id: int) -> None:
         now = self.sim.now
-        job, alloc_id, node_ids, start_time, prologue = self.running.pop(job_id)
+        rj = self.running.pop(job_id)
+        job, alloc_id, node_ids = rj.job, rj.alloc_id, rj.node_ids
+        start_time, prologue = rj.start_time, rj.prologue
         job.state = JobState.EXITED
 
         # Epilogue: sync, snapshot, diff against the prologue (§3).
@@ -271,7 +326,7 @@ class PBSServer:
             node = self.machine.node(nid)
             node.sync(now)
             deltas[nid] = snapshot_delta(prologue[nid], node.snapshot())
-            node.release_memory(job.profile.memory_bytes_per_node)
+            node.release_memory(rj.memory_per_node)
             node.install_rates(now)  # back to idle background
 
         self.machine.release(alloc_id)
@@ -320,6 +375,79 @@ class PBSServer:
         self.schedule_pass()
 
     # ------------------------------------------------------------------
+    # Failure handling (node crashes, driven by the fault injector)
+    # ------------------------------------------------------------------
+    def kill_jobs_on_node(self, node_id: int) -> list[JobSpec]:
+        """Kill every running job allocated on ``node_id``.
+
+        MPI/PVM jobs could not survive a node loss (§6: they could not
+        even be checkpointed), so the whole job dies, its *surviving*
+        nodes return to the pool, and the job is requeued — up to
+        :attr:`max_retries` times — as the resubmission users performed
+        by hand.  Returns the killed jobs.
+        """
+        doomed = [
+            rj.job.job_id for rj in self.running.values() if node_id in rj.node_ids
+        ]
+        killed = [self._kill_job(job_id, node_id) for job_id in doomed]
+        if killed:
+            # The dead job's surviving nodes just came back to the pool.
+            self.schedule_pass()
+        return killed
+
+    def _kill_job(self, job_id: int, node_id: int) -> JobSpec:
+        now = self.sim.now
+        rj = self.running.pop(job_id)
+        job = rj.job
+        if rj.end_event is not None:
+            rj.end_event.cancel()
+        # No epilogue: a dead job leaves no accounting record, exactly
+        # like the real failed runs the §6 logs never captured.  Nodes
+        # are synced and returned to idle; the crashed node itself is
+        # withheld from the free pool by the machine.
+        for nid in rj.node_ids:
+            node = self.machine.node(nid)
+            node.sync(now)
+            node.release_memory(rj.memory_per_node)
+            node.install_rates(now)
+        self.machine.release(rj.alloc_id)
+        self.jobs_killed += 1
+
+        if job_id in self._job_spans:
+            root, running_span = self._job_spans.pop(job_id)
+            running_span.args["killed_by_node"] = node_id
+            self.tracer.finish(running_span, end=now)
+            root.args["killed"] = True
+            self.tracer.finish(root, end=now)
+
+        requeued = job.retries < self.max_retries
+        if requeued:
+            job.retries += 1
+            job.state = JobState.QUEUED
+            self.queue.submit(job)
+            self.jobs_requeued += 1
+            self._open_job_spans(job)
+        else:
+            job.state = JobState.KILLED
+            self.retries_exhausted += 1
+
+        if self.bus is not None:
+            from repro.telemetry.bus import TOPIC_JOB_KILLED, JobKilled
+
+            self.bus.publish(
+                TOPIC_JOB_KILLED,
+                JobKilled(
+                    time=now,
+                    job_id=job.job_id,
+                    user=job.user,
+                    app_name=job.app_name,
+                    node_id=node_id,
+                    requeued=requeued,
+                ),
+            )
+        return job
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
@@ -327,4 +455,4 @@ class PBSServer:
         return len(self.running)
 
     def busy_node_count(self) -> int:
-        return sum(len(nodes) for _, _, nodes, _, _ in self.running.values())
+        return sum(len(rj.node_ids) for rj in self.running.values())

@@ -365,6 +365,30 @@ class Node:
             self.busy_seconds += dt
         self.wall_seconds += dt
 
+    def halt(self, now: float) -> None:
+        """Power the node down at ``now`` (crash).
+
+        Counters are synced to the instant of the crash and then
+        *freeze* — they persist across the outage and keep their values
+        at repair, so the collector's per-node series stays monotone
+        (the delta algebra asserts counters never run backwards).
+        """
+        self.sync(now)
+        zero = np.zeros(BANK_SIZE)
+        self._user_rates = zero
+        self._system_rates = zero.copy()
+        self._rates_busy = False
+        self._flops_per_s = 0.0
+
+    def resume(self, now: float) -> None:
+        """Return the node to service at ``now`` (repair).
+
+        The outage integrates as zero-rate time, then the idle
+        background OS vector is reinstalled.
+        """
+        self.sync(now)
+        self.install_rates(now)
+
     def _background_rates(self) -> np.ndarray:
         """Idle-node background OS activity as a bank-ordered vector."""
         return rates_vector(

@@ -39,6 +39,12 @@ TOPIC_SPAN = "trace.span"
 #: ``Simulator.run(max_events=...)`` stopped with events still queued
 #: (payload: :class:`SimTruncated`).
 TOPIC_SIM_TRUNCATED = "sim.truncated"
+#: A fault-injection event fired (payload: :class:`FaultInjected`).
+TOPIC_FAULT = "fault.injected"
+#: A running job was killed by a node failure (payload: :class:`JobKilled`).
+TOPIC_JOB_KILLED = "pbs.job_killed"
+#: A collector cron pass was lost (payload: :class:`CollectorGap`).
+TOPIC_COLLECTOR_GAP = "hpm.gap"
 
 TOPICS = (
     TOPIC_SAMPLE,
@@ -48,6 +54,9 @@ TOPICS = (
     TOPIC_NODE_UP,
     TOPIC_SPAN,
     TOPIC_SIM_TRUNCATED,
+    TOPIC_FAULT,
+    TOPIC_JOB_KILLED,
+    TOPIC_COLLECTOR_GAP,
 )
 
 
@@ -109,6 +118,38 @@ class SimTruncated:
     events_processed: int
     #: Time of the next still-queued event (the work left behind).
     next_event_time: float | None
+
+
+@dataclass(frozen=True)
+class FaultInjected:
+    """A scheduled fault fired; ``event`` is the
+    ``repro.faults.events.FaultEvent`` (kept untyped: no cycle)."""
+
+    time: float
+    event: Any
+
+
+@dataclass(frozen=True)
+class JobKilled:
+    """A node failure took down a running job."""
+
+    time: float
+    job_id: int
+    user: int
+    app_name: str
+    #: The failed node that triggered the kill.
+    node_id: int
+    #: True when the job went back to the queue (retries left).
+    requeued: bool
+
+
+@dataclass(frozen=True)
+class CollectorGap:
+    """A collector cron pass was dropped (no sample stored)."""
+
+    time: float
+    #: Cumulative dropped passes as of this gap.
+    passes_dropped: int = 0
 
 
 # ----------------------------------------------------------------------

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.pbs.job import JobRecord
-from repro.telemetry.bus import JobEnded, JobStarted
+from repro.telemetry.bus import JobEnded, JobKilled, JobStarted
 
 
 @dataclass(frozen=True)
@@ -89,6 +89,12 @@ class RollupTable:
             node_ids=ev.node_ids,
             start_time=ev.time,
         )
+
+    def on_killed(self, ev: JobKilled) -> None:
+        """A node failure killed the job: it never reaches epilogue on
+        this attempt, so it just leaves the active table (a requeued
+        retry re-enters via a fresh prologue)."""
+        self.active.pop(ev.job_id, None)
 
     def on_end(self, ev: JobEnded) -> JobRollup:
         self.active.pop(ev.record.job_id, None)

@@ -29,13 +29,19 @@ from repro.hpm.collector import SystemSample, sample_delta
 from repro.hpm.derived import DerivedRates, workload_rates
 from repro.pbs.job import JobRecord
 from repro.telemetry.bus import (
+    TOPIC_COLLECTOR_GAP,
+    TOPIC_FAULT,
     TOPIC_JOB_END,
+    TOPIC_JOB_KILLED,
     TOPIC_JOB_START,
     TOPIC_SAMPLE,
     TOPIC_SIM_TRUNCATED,
     TOPIC_SPAN,
+    CollectorGap,
     EventBus,
+    FaultInjected,
     JobEnded,
+    JobKilled,
     JobStarted,
     SampleTaken,
     SimTruncated,
@@ -92,11 +98,20 @@ class TelemetryService:
         #: ``sim.truncated`` notices (a non-empty list means the
         #: campaign stopped on an event budget, not the horizon).
         self.truncations: list[SimTruncated] = []
+        #: Fault-injection events seen (0 on a healthy campaign).
+        self.faults_seen = 0
+        #: Jobs killed by node failures (includes requeued attempts).
+        self.jobs_killed_seen = 0
+        #: Collector cron passes lost to dropouts.
+        self.collector_gaps_seen = 0
         self.bus.subscribe(TOPIC_SAMPLE, self._on_sample)
         self.bus.subscribe(TOPIC_JOB_START, self.rollups.on_start)
         self.bus.subscribe(TOPIC_JOB_END, self._on_job_end)
         self.bus.subscribe(TOPIC_SPAN, self._on_span)
         self.bus.subscribe(TOPIC_SIM_TRUNCATED, self.truncations.append)
+        self.bus.subscribe(TOPIC_FAULT, self._on_fault)
+        self.bus.subscribe(TOPIC_JOB_KILLED, self._on_job_killed)
+        self.bus.subscribe(TOPIC_COLLECTOR_GAP, self._on_collector_gap)
 
     # ------------------------------------------------------------------
     # Bus handlers
@@ -115,6 +130,32 @@ class TelemetryService:
 
     def _on_job_end(self, ev: JobEnded) -> None:
         self.rollups.on_end(ev)
+
+    def _on_fault(self, ev: FaultInjected) -> None:
+        """Every injected fault becomes an operator alert directly (no
+        rule evaluation: the injector *knows* something broke, unlike
+        the inferred pathologies the rules hunt for)."""
+        from repro.faults.events import SEVERITY_BY_KIND
+
+        self.faults_seen += 1
+        fe = ev.event
+        self.engine.alerts.append(
+            Alert(
+                time=ev.time,
+                rule="fault",
+                severity=SEVERITY_BY_KIND.get(fe.kind, "info"),
+                key=fe.key,
+                message=fe.describe(),
+                value=float(fe.value) if fe.value is not None else 0.0,
+            )
+        )
+
+    def _on_job_killed(self, ev: JobKilled) -> None:
+        self.jobs_killed_seen += 1
+        self.rollups.on_killed(ev)
+
+    def _on_collector_gap(self, ev: CollectorGap) -> None:
+        self.collector_gaps_seen += 1
 
     def _on_span(self, ev: SpanFinished) -> None:
         self.spans_seen += 1
@@ -163,8 +204,13 @@ class TelemetryService:
         return self.engine.counts_by_rule()
 
     def summary(self) -> dict:
-        """JSON-ready rollup of the telemetry side of a campaign."""
-        return {
+        """JSON-ready rollup of the telemetry side of a campaign.
+
+        Fault keys appear only when fault injection actually fired, so
+        healthy-campaign summaries stay byte-identical to earlier
+        releases (the golden files pin them).
+        """
+        out = {
             "samples_seen": self.samples_seen,
             "intervals_seen": self.intervals_seen,
             "jobs_finished": len(self.rollups),
@@ -175,6 +221,11 @@ class TelemetryService:
             "spans_seen": self.spans_seen,
             "truncated": len(self.truncations) > 0,
         }
+        if self.faults_seen:
+            out["faults_seen"] = self.faults_seen
+            out["jobs_killed_seen"] = self.jobs_killed_seen
+            out["collector_gaps_seen"] = self.collector_gaps_seen
+        return out
 
     # ------------------------------------------------------------------
     # Offline replay
@@ -187,6 +238,7 @@ class TelemetryService:
         *,
         spans: Iterable = (),  # repro.tracing.span.Span (kept untyped: no cycle)
         truncations: Iterable[SimTruncated] = (),
+        faults: Iterable = (),  # repro.faults.events.FaultEvent (kept untyped)
     ) -> "TelemetryService":
         """Rebuild the live view from recorded samples and job records.
 
@@ -204,15 +256,25 @@ class TelemetryService:
         into the replayed view; they are republished after the sample
         stream (offline replay cannot interleave them exactly as the
         live bus did, but the counters and job→span index match).
+
+        ``faults`` (recorded ``FaultEvent`` objects, e.g. a merged
+        ``FaultLog``'s events) are interleaved with the sample stream by
+        time, so the replayed alert list carries the same fault alerts
+        the live service produced.
         """
         service = cls()
         span_list = list(spans)
         truncation_list = list(truncations)
+        fault_list = sorted(faults, key=lambda f: f.time)
         recs = list(records)
         starts = sorted(recs, key=lambda r: (r.start_time, r.job_id))
         ends = sorted(recs, key=lambda r: (r.end_time, r.job_id))
-        si = ei = 0
+        si = ei = fi = 0
         for sample in samples:
+            while fi < len(fault_list) and fault_list[fi].time <= sample.time:
+                fe = fault_list[fi]
+                service.bus.publish(TOPIC_FAULT, FaultInjected(time=fe.time, event=fe))
+                fi += 1
             while ei < len(ends) and ends[ei].end_time <= sample.time:
                 rec = ends[ei]
                 service.bus.publish(TOPIC_JOB_END, JobEnded(time=rec.end_time, record=rec))
@@ -232,6 +294,8 @@ class TelemetryService:
                 )
                 si += 1
             service.bus.publish(TOPIC_SAMPLE, SampleTaken(time=sample.time, sample=sample))
+        for fe in fault_list[fi:]:
+            service.bus.publish(TOPIC_FAULT, FaultInjected(time=fe.time, event=fe))
         for rec in ends[ei:]:
             service.bus.publish(TOPIC_JOB_END, JobEnded(time=rec.end_time, record=rec))
         for span in span_list:

@@ -33,6 +33,13 @@ class RngStreams:
         #: their name-space cannot collide with the root's (child keys
         #: have different lengths).
         self.spawn_key = tuple(int(k) for k in spawn_key)
+        for k in self.spawn_key:
+            # SeedSequence rejects negative spawn keys with an opaque
+            # numpy error; fail early with the actual offending value.
+            if k < 0:
+                raise ValueError(
+                    f"spawn_key entries must be non-negative, got {k} in {self.spawn_key}"
+                )
         self._root = np.random.SeedSequence(self.seed, spawn_key=self.spawn_key)
         self._streams: dict[str, np.random.Generator] = {}
 

@@ -1,0 +1,96 @@
+"""Availability / MTBF reporting over fault logs."""
+
+import math
+
+from repro.faults.events import (
+    NODE_CRASH,
+    NODE_REPAIR,
+    STORM_END,
+    STORM_START,
+    FaultEvent,
+    FaultLog,
+)
+from repro.faults.report import availability_table, fault_summary, render_fault_report
+
+DAY = 86400.0
+
+
+def sample_log() -> FaultLog:
+    """Two crashes (one repaired, one open at the horizon) on 4 nodes
+    over 10 days, plus a 6-hour storm."""
+    log = FaultLog(
+        events=[
+            FaultEvent(time=1 * DAY, kind=NODE_CRASH, target=0),
+            FaultEvent(time=1 * DAY + 7200, kind=NODE_REPAIR, target=0),
+            FaultEvent(time=4 * DAY, kind=NODE_CRASH, target=2),
+            FaultEvent(time=2 * DAY, kind=STORM_START, value=1.5),
+            FaultEvent(time=2 * DAY + 6 * 3600, kind=STORM_END),
+        ],
+        jobs_killed=3,
+        jobs_requeued=2,
+        retries_exhausted=1,
+        passes_dropped=4,
+    )
+    log.finalize(10 * DAY, n_nodes=4)
+    return log
+
+
+class TestDerivedFacts:
+    def test_downtime_clips_open_episode_at_horizon(self):
+        log = sample_log()
+        assert log.node_down_seconds == 7200 + 6 * DAY
+        assert log.storm_seconds == 6 * 3600
+
+    def test_availability_and_mtbf(self):
+        log = sample_log()
+        expected = 1.0 - (7200 + 6 * DAY) / (4 * 10 * DAY)
+        assert math.isclose(log.availability(), expected)
+        assert math.isclose(log.observed_mtbf_node_days(), 4 * 10 / 2)
+        assert math.isclose(log.observed_mttr_hours(), (7200 + 6 * DAY) / 3600 / 2)
+
+    def test_empty_log_is_fully_available(self):
+        log = FaultLog()
+        log.finalize(10 * DAY, n_nodes=4)
+        assert log.availability() == 1.0
+        assert log.observed_mtbf_node_days() == float("inf")
+        assert log.observed_mttr_hours() == 0.0
+
+
+class TestTable:
+    def test_table_reports_the_counters(self):
+        text = availability_table(sample_log()).render()
+        assert "node crashes" in text
+        assert "jobs killed" in text
+        assert render_fault_report(sample_log()) == text
+
+    def test_infinite_mtbf_renders_as_dash(self):
+        log = FaultLog()
+        log.finalize(DAY, n_nodes=4)
+        rows = {r[0]: r[1] for r in availability_table(log).rows if len(r) >= 2}
+        assert rows["observed MTBF"] == "-"
+
+
+class TestSummary:
+    def test_summary_is_json_ready(self):
+        s = fault_summary(sample_log())
+        assert s["events_total"] == 5
+        assert s["events_by_kind"][NODE_CRASH] == 2
+        assert s["jobs_killed"] == 3 and s["passes_dropped"] == 4
+        assert math.isclose(s["observed_mtbf_node_days"], 20.0)
+
+    def test_infinite_mtbf_becomes_null(self):
+        log = FaultLog()
+        log.finalize(DAY, n_nodes=4)
+        assert fault_summary(log)["observed_mtbf_node_days"] is None
+
+
+class TestMerge:
+    def test_merged_logs_sum_exposure_and_counters(self):
+        a, b = sample_log(), sample_log()
+        merged = FaultLog.merged([a, b.rebase(10 * DAY)])
+        assert merged.horizon_seconds == 20 * DAY
+        assert merged.n_nodes == 4
+        assert merged.jobs_killed == 6
+        assert merged.node_down_seconds == 2 * a.node_down_seconds
+        assert math.isclose(merged.availability(), a.availability())
+        assert [e.time for e in merged.events] == sorted(e.time for e in merged.events)

@@ -1,0 +1,100 @@
+"""The pre-drawn fault timeline: determinism, structure, stream isolation."""
+
+from repro.faults.events import (
+    COLLECTOR_DROPOUT,
+    NODE_CRASH,
+    NODE_REPAIR,
+)
+from repro.faults.profile import PROFILES, FaultProfile
+from repro.faults.schedule import generate_fault_schedule
+from repro.util.rng import RngStreams
+
+HORIZON = 30 * 86400.0
+INTERVAL = 900.0
+
+BUSY = FaultProfile(
+    name="busy",
+    node_mtbf_days=5.0,
+    node_mttr_hours=4.0,
+    switch_mtbf_days=4.0,
+    storm_mtbf_days=6.0,
+    collector_dropout_rate=0.02,
+)
+
+
+def draw(profile=BUSY, seed=7, n_nodes=16, horizon=HORIZON):
+    return generate_fault_schedule(
+        profile,
+        RngStreams(seed),
+        horizon_seconds=horizon,
+        n_nodes=n_nodes,
+        sample_interval=INTERVAL,
+    )
+
+
+class TestDeterminism:
+    def test_same_inputs_same_schedule(self):
+        assert draw() == draw()
+
+    def test_different_seed_different_schedule(self):
+        assert draw(seed=7) != draw(seed=8)
+
+    def test_schedule_is_time_sorted_and_in_horizon(self):
+        events = draw()
+        assert events  # the busy profile must actually produce faults
+        assert all(0.0 <= ev.time < HORIZON for ev in events)
+        assert [ev.time for ev in events] == sorted(ev.time for ev in events)
+
+
+class TestStructure:
+    def test_crash_repair_alternate_per_node(self):
+        events = draw()
+        by_node: dict[int, list[str]] = {}
+        for ev in events:
+            if ev.kind in (NODE_CRASH, NODE_REPAIR):
+                by_node.setdefault(ev.target, []).append(ev.kind)
+        assert by_node
+        for kinds in by_node.values():
+            # Strict alternation starting with a crash; the final repair
+            # may be truncated by the horizon.
+            expected = [NODE_CRASH, NODE_REPAIR] * len(kinds)
+            assert kinds == expected[: len(kinds)]
+
+    def test_dropouts_precede_the_pass_they_suppress(self):
+        dropouts = [ev for ev in draw() if ev.kind == COLLECTOR_DROPOUT]
+        assert dropouts
+        for ev in dropouts:
+            # k * interval - 1 for integer k >= 1: never the t=0 baseline.
+            assert (ev.time + 1.0) % INTERVAL == 0.0
+            assert ev.time + 1.0 >= INTERVAL
+
+
+class TestStreamIsolation:
+    def test_dropout_times_independent_of_other_processes(self):
+        """The dropout coin flips come from their own stream, so turning
+        the other fault processes off doesn't move a single dropout."""
+        only_dropouts = FaultProfile(
+            name="drops", collector_dropout_rate=BUSY.collector_dropout_rate
+        )
+        full = [ev.time for ev in draw() if ev.kind == COLLECTOR_DROPOUT]
+        alone = [ev.time for ev in draw(only_dropouts) if ev.kind == COLLECTOR_DROPOUT]
+        assert full == alone
+
+    def test_node_schedules_are_per_node_streams(self):
+        """Halving the node count leaves the surviving nodes' crash
+        times untouched (streams are spawned per node id)."""
+        wide = draw(n_nodes=16)
+        narrow = draw(n_nodes=8)
+
+        def node_times(events, nid):
+            return [ev.time for ev in events if ev.target == nid]
+
+        for nid in range(8):
+            assert node_times(wide, nid) == node_times(narrow, nid)
+
+
+class TestPresets:
+    def test_pathological_outfails_mild(self):
+        mild = draw(PROFILES["mild"], horizon=90 * 86400.0)
+        path = draw(PROFILES["pathological"], horizon=90 * 86400.0)
+        assert len(path) > len(mild)

@@ -48,6 +48,32 @@ class TestAlerts:
             if line.startswith("d") and "paging" not in line:
                 pytest.fail(f"non-paging alert leaked through filter: {line}")
 
+    def test_fault_rule_filter_on_faulted_campaign(self, capsys):
+        rc = main(["alerts", "--rule", "fault", "--fault-profile", "pathological"] + SMALL)
+        assert rc == 0
+        out = capsys.readouterr().out
+        shown = [line for line in out.splitlines() if line.startswith("d")]
+        assert shown, "pathological profile fired no fault alerts"
+        assert all("fault" in line for line in shown)
+
+    def test_zero_sample_campaign_exits_nonzero(self, capsys):
+        """A campaign that measured nothing must not read as healthy."""
+        from repro.core.study import StudyConfig, StudyDataset
+        from repro.hpm.collector import SampleSeries
+        from repro.ops_cli import cmd_alerts
+        from repro.pbs.accounting import AccountingLog
+
+        empty = StudyDataset(
+            config=StudyConfig(n_days=1, n_nodes=16, n_users=4),
+            trace=None,
+            collector=SampleSeries(),
+            accounting=AccountingLog(),
+        )
+        args = build_parser().parse_args(["alerts"] + SMALL)
+        rc = cmd_alerts(empty, args)
+        assert rc == 1
+        assert "zero collector samples" in capsys.readouterr().err
+
 
 class TestTail:
     def test_tail_renders_feed(self, capsys):

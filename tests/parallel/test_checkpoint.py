@@ -1,0 +1,113 @@
+"""Per-shard checkpoint files: fingerprints, atomicity, staleness."""
+
+import os
+import pickle
+
+import numpy as np
+
+from repro.core.study import StudyConfig
+from repro.faults.profile import PROFILES
+from repro.parallel.checkpoint import (
+    CHECKPOINT_VERSION,
+    config_fingerprint,
+    load_shard_result,
+    save_shard_result,
+    shard_path,
+)
+from repro.parallel.plan import Shard
+from repro.parallel.worker import ShardResult
+
+CONFIG = StudyConfig(seed=3, n_days=4, n_nodes=16, n_users=6)
+
+
+def tiny_result(index: int = 0) -> ShardResult:
+    return ShardResult(
+        shard=Shard(index=index, day_start=index, day_end=index + 1),
+        samples=[],
+        records=[],
+        utilization_probes=[(0.0, 0)],
+        submissions=[],
+        demand_levels=np.zeros(1),
+        events_processed=7,
+    )
+
+
+class TestFingerprint:
+    def test_stable_for_identical_campaigns(self):
+        assert config_fingerprint(CONFIG, 4) == config_fingerprint(
+            StudyConfig(seed=3, n_days=4, n_nodes=16, n_users=6), 4
+        )
+
+    def test_sensitive_to_every_campaign_knob(self):
+        base = config_fingerprint(CONFIG, 4)
+        assert config_fingerprint(CONFIG, 5) != base  # shard plan
+        for other in (
+            StudyConfig(seed=4, n_days=4, n_nodes=16, n_users=6),
+            StudyConfig(seed=3, n_days=5, n_nodes=16, n_users=6),
+            StudyConfig(
+                seed=3,
+                n_days=4,
+                n_nodes=16,
+                n_users=6,
+                fault_profile=PROFILES["mild"],
+            ),
+        ):
+            assert config_fingerprint(other, 4) != base
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        fp = config_fingerprint(CONFIG, 4)
+        result = tiny_result(2)
+        path = save_shard_result(str(tmp_path), fp, result)
+        assert path == shard_path(str(tmp_path), 2)
+        loaded = load_shard_result(str(tmp_path), fp, 2)
+        assert loaded is not None
+        assert loaded.shard == result.shard
+        assert loaded.events_processed == result.events_processed
+        assert np.array_equal(loaded.demand_levels, result.demand_levels)
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        save_shard_result(str(tmp_path), "fp", tiny_result())
+        assert os.listdir(tmp_path) == ["shard-0000.pkl"]
+
+
+class TestStaleness:
+    """Every defect degrades to None — the caller recomputes, never
+    trusts a stale or torn file."""
+
+    def test_missing_file(self, tmp_path):
+        assert load_shard_result(str(tmp_path), "fp", 0) is None
+
+    def test_fingerprint_mismatch(self, tmp_path):
+        save_shard_result(str(tmp_path), "fp-a", tiny_result())
+        assert load_shard_result(str(tmp_path), "fp-b", 0) is None
+
+    def test_wrong_shard_index_inside_envelope(self, tmp_path):
+        save_shard_result(str(tmp_path), "fp", tiny_result(0))
+        os.rename(shard_path(str(tmp_path), 0), shard_path(str(tmp_path), 1))
+        assert load_shard_result(str(tmp_path), "fp", 1) is None
+
+    def test_truncated_pickle(self, tmp_path):
+        path = save_shard_result(str(tmp_path), "fp", tiny_result())
+        data = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(data[: len(data) // 2])
+        assert load_shard_result(str(tmp_path), "fp", 0) is None
+
+    def test_version_mismatch(self, tmp_path):
+        path = shard_path(str(tmp_path), 0)
+        envelope = {
+            "version": CHECKPOINT_VERSION + 1,
+            "fingerprint": "fp",
+            "shard_index": 0,
+            "result": tiny_result(),
+        }
+        with open(path, "wb") as fh:
+            pickle.dump(envelope, fh)
+        assert load_shard_result(str(tmp_path), "fp", 0) is None
+
+    def test_garbage_payload(self, tmp_path):
+        with open(shard_path(str(tmp_path), 0), "wb") as fh:
+            pickle.dump(["not", "an", "envelope"], fh)
+        assert load_shard_result(str(tmp_path), "fp", 0) is None

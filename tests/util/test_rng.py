@@ -1,8 +1,9 @@
 """Deterministic random-stream management."""
 
 import numpy as np
+import pytest
 
-from repro.util.rng import RngStreams, _stable_hash
+from repro.util.rng import RngStreams, _stable_hash, spawn_stream
 
 
 class TestStreamIdentity:
@@ -67,3 +68,35 @@ class TestNames:
         s.get("b")
         s.get("a")
         assert s.names() == ["a", "b"]
+
+
+class TestSpawnGuards:
+    """SeedSequence rejects negative spawn keys with an opaque numpy
+    error deep in the stack; our guards fail early and name the value."""
+
+    @pytest.mark.parametrize("key", [(-1,), (0, -3), (2, -1, 4)])
+    def test_negative_spawn_key_entries_rejected(self, key):
+        with pytest.raises(ValueError, match="non-negative"):
+            RngStreams(1, spawn_key=key)
+
+    def test_negative_shard_id_rejected(self):
+        with pytest.raises(ValueError, match="shard_id must be non-negative"):
+            spawn_stream(1, -1)
+
+    def test_error_names_the_offending_value(self):
+        with pytest.raises(ValueError, match="-7"):
+            RngStreams(1, spawn_key=(3, -7))
+
+
+class TestSpawnStream:
+    def test_shard_trees_are_deterministic(self):
+        a = spawn_stream(9, 2).get("x").random(8)
+        b = spawn_stream(9, 2).get("x").random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_shard_trees_are_disjoint_from_root_and_each_other(self):
+        root = RngStreams(9).get("x").random(8)
+        s2 = spawn_stream(9, 2).get("x").random(8)
+        s3 = spawn_stream(9, 3).get("x").random(8)
+        assert not np.array_equal(root, s2)
+        assert not np.array_equal(s2, s3)
