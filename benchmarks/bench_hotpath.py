@@ -1,0 +1,190 @@
+"""Experiment: the vectorized counter-accrual hot path.
+
+Times the same serial campaign under the legacy per-node scalar path and
+the batched store (:mod:`repro.power2.batch`), asserts the two datasets
+are the *same experiment* (fingerprint match — the backends are bitwise
+equivalent), and reports the speedup.
+
+Two entry points, mirroring ``bench_parallel_scaling``:
+
+* ``pytest benchmarks/ --benchmark-only`` runs a short differential
+  timing as part of the experiment harness;
+* ``python benchmarks/bench_hotpath.py --out benchmarks/BENCH_hotpath.json``
+  records the reference numbers.  With ``--check``, the measured
+  speedup is compared against the recorded one and the run fails if it
+  regressed by more than ``--tolerance`` (CI's perf-regression gate:
+  ratios are machine-portable where absolute seconds are not).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.core.study import StudyConfig, StudyDataset, WorkloadStudy
+from repro.power2.batch import resolve_backend
+
+BACKENDS = ("scalar", "vectorized")
+
+
+@dataclass(frozen=True)
+class HotpathPoint:
+    """One row of the backend-timing table."""
+
+    backend: str
+    seconds: float
+    speedup: float  # vs the scalar row
+
+
+def _fingerprint(dataset: StudyDataset) -> tuple:
+    """A cheap identity for "same campaign" assertions."""
+    daily = dataset.daily_gflops()
+    return (
+        len(dataset.accounting),
+        dataset.events_processed,
+        len(dataset.collector.samples),
+        round(float(daily.sum()), 9) if daily.size else 0.0,
+    )
+
+
+def measure_hotpath(
+    config: StudyConfig, *, repeats: int = 1
+) -> list[HotpathPoint]:
+    """Best-of-``repeats`` serial campaign time per accrual backend."""
+    seconds: dict[str, float] = {}
+    reference: tuple | None = None
+    for backend in BACKENDS:
+        cfg = StudyConfig(
+            seed=config.seed,
+            n_days=config.n_days,
+            n_nodes=config.n_nodes,
+            n_users=config.n_users,
+            accrual_backend=backend,
+        )
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            dataset = WorkloadStudy(cfg).run()
+            best = min(best, time.perf_counter() - t0)
+        fp = _fingerprint(dataset)
+        if reference is None:
+            reference = fp
+        elif fp != reference:
+            raise AssertionError(
+                f"backend={backend} changed the campaign: {fp} != {reference}"
+            )
+        seconds[backend] = best
+    base = seconds["scalar"]
+    return [
+        HotpathPoint(backend=b, seconds=seconds[b], speedup=base / seconds[b])
+        for b in BACKENDS
+    ]
+
+
+def render_table(points: list[HotpathPoint], config: StudyConfig) -> str:
+    lines = [
+        f"# sp2 counter hot path — {config.n_days}-day campaign, "
+        f"{config.n_nodes} nodes, seed {config.seed}",
+        f"# vectorized resolves to {resolve_backend('vectorized')!r}, "
+        f"{os.cpu_count()} cpu cores visible",
+        f"{'backend':>12s} {'seconds':>10s} {'speedup':>8s}",
+    ]
+    for p in points:
+        lines.append(f"{p.backend:>12s} {p.seconds:>10.2f} {p.speedup:>7.2f}x")
+    return "\n".join(lines)
+
+
+def test_hotpath_speedup(benchmark, capsys):
+    """Scalar vs vectorized serial campaign (identity asserted).
+
+    The hard regression gate lives in the script's ``--check`` mode
+    against the recorded BENCH_hotpath.json ratio; here the vectorized
+    path only has to not *lose* to scalar, which holds with wide margin
+    on any machine."""
+    days = min(int(os.environ.get("REPRO_BENCH_DAYS", "60")), 8)
+    config = StudyConfig(seed=0, n_days=days, n_nodes=144, n_users=60)
+
+    points = benchmark.pedantic(
+        lambda: measure_hotpath(config, repeats=1), rounds=1, iterations=1
+    )
+    assert [p.backend for p in points] == list(BACKENDS)
+    assert all(p.seconds > 0 for p in points)
+    assert points[1].speedup > 1.0
+
+    with capsys.disabled():
+        print()
+        print(render_table(points, config))
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description="sp2 counter hot-path timing")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--days", type=int, default=12)
+    p.add_argument("--nodes", type=int, default=144)
+    p.add_argument("--users", type=int, default=60)
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--out", type=str, default=None, help="write results JSON here")
+    p.add_argument(
+        "--check",
+        type=str,
+        default=None,
+        help="recorded BENCH_hotpath.json to compare the measured speedup against",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.8,
+        help="fail --check if measured speedup < tolerance × recorded speedup",
+    )
+    args = p.parse_args(argv)
+
+    config = StudyConfig(
+        seed=args.seed, n_days=args.days, n_nodes=args.nodes, n_users=args.users
+    )
+    points = measure_hotpath(config, repeats=args.repeats)
+    print(render_table(points, config))
+    record = {
+        "config": {
+            "seed": args.seed,
+            "n_days": args.days,
+            "n_nodes": args.nodes,
+            "n_users": args.users,
+            "repeats": args.repeats,
+        },
+        "backend_resolved": resolve_backend("vectorized"),
+        "points": [
+            {"backend": p.backend, "seconds": round(p.seconds, 4), "speedup": round(p.speedup, 3)}
+            for p in points
+        ],
+        "speedup": round(points[-1].speedup, 3),
+    }
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.check:
+        with open(args.check) as fh:
+            recorded = json.load(fh)
+        floor = args.tolerance * recorded["speedup"]
+        measured = record["speedup"]
+        print(
+            f"perf gate: measured {measured:.2f}x vs recorded "
+            f"{recorded['speedup']:.2f}x (floor {floor:.2f}x)"
+        )
+        if measured < floor:
+            print(
+                f"FAIL: vectorized hot path regressed below {args.tolerance:.0%} "
+                "of the recorded speedup",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

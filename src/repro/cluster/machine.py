@@ -11,6 +11,7 @@ from typing import Iterable, Sequence
 
 from repro.cluster.filesystem import NFSFilesystem
 from repro.cluster.switch import HighPerformanceSwitch
+from repro.power2.batch import make_store, resolve_backend
 from repro.power2.config import MachineConfig, POWER2_590
 from repro.power2.node import Node, PhaseKind, WorkPhase
 
@@ -19,17 +20,35 @@ NAS_NODE_COUNT = 144
 
 
 class SP2Machine:
-    """A distributed-memory RS6000/590 cluster."""
+    """A distributed-memory RS6000/590 cluster.
+
+    ``accrual_backend`` selects how node counters integrate over time:
+    ``"scalar"`` (default) keeps the legacy per-node accumulators;
+    ``"auto"``/``"vectorized"``/``"numpy"``/``"python"`` move every
+    node's accumulators into one shared
+    :class:`~repro.power2.batch.CounterStore` so collector passes and
+    job transitions run as flat array sweeps.  Both produce bitwise
+    identical measurements (see :mod:`repro.power2.batch`).
+    """
 
     def __init__(
         self,
         n_nodes: int = NAS_NODE_COUNT,
         config: MachineConfig | None = None,
+        *,
+        accrual_backend: str = "scalar",
     ) -> None:
         if n_nodes <= 0:
             raise ValueError("machine needs at least one node")
         self.config = config or POWER2_590
         self.nodes: list[Node] = [Node(i, self.config) for i in range(n_nodes)]
+        self.accrual_backend = resolve_backend(accrual_backend)
+        #: The shared counter store (None on the scalar backend).
+        self.store = None
+        if self.accrual_backend != "scalar":
+            self.store = make_store(n_nodes, self.accrual_backend)
+            for node in self.nodes:
+                node.attach_store(self.store, node.node_id)
         self.switch = HighPerformanceSwitch()
         self.filesystem = NFSFilesystem(self.switch)
         self._free: set[int] = set(range(n_nodes))

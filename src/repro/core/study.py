@@ -50,6 +50,12 @@ class StudyConfig:
     #: Fault-injection profile (None or a null profile = healthy run;
     #: healthy campaigns are byte-identical to pre-fault releases).
     fault_profile: FaultProfile | None = None
+    #: Counter-accrual backend (see :mod:`repro.power2.batch`):
+    #: ``auto`` picks the fastest vectorized store available; ``scalar``
+    #: forces the legacy per-node path.  Every backend produces bitwise
+    #: identical measurements — the flag exists for differential testing
+    #: and benchmarking, not for trading accuracy against speed.
+    accrual_backend: str = "auto"
 
 
 @dataclass
@@ -163,7 +169,11 @@ class WorkloadStudy:
         #: independent yet reproducible.
         self._fault_streams = fault_streams
         self.sim = Simulator()
-        self.machine = SP2Machine(self.config.n_nodes, self.config.machine_config)
+        self.machine = SP2Machine(
+            self.config.n_nodes,
+            self.config.machine_config,
+            accrual_backend=self.config.accrual_backend,
+        )
         # One bus per campaign: the collector and PBS publish, the
         # telemetry service consumes — the streaming counterpart of §3's
         # "stores this data for later analysis".
@@ -283,6 +293,7 @@ def run_study(
     checkpoint_dir: str | None = None,
     resume: bool = False,
     shard_attempts: int = 3,
+    accrual_backend: str = "auto",
 ) -> StudyDataset:
     """One-call campaign: generate the trace, run it, return the data.
 
@@ -298,6 +309,10 @@ def run_study(
     checkpoint-restart path; they imply the sharded runner even without
     ``workers``/``shard_days`` (a single-shard plan, still byte-identical
     to the serial run).
+
+    ``accrual_backend`` selects how counters integrate (scalar per-node
+    vs. batched store, :mod:`repro.power2.batch`); every backend yields
+    bitwise identical output.
     """
     profile = None
     if fault_profile is not None:
@@ -314,6 +329,7 @@ def run_study(
         n_nodes=n_nodes,
         n_users=n_users,
         fault_profile=profile,
+        accrual_backend=accrual_backend,
     )
     sharded = (
         workers is not None

@@ -189,6 +189,18 @@ class SystemCollector(SampleSeries):
         #: (no sample stored) — the §3 pipeline's missing data files.
         self._drop_next = False
         self.passes_dropped = 0
+        # Batched fast path: when every daemon's node shares one counter
+        # store (vectorized accrual backends), a cron pass is a single
+        # masked sweep over the store instead of a per-daemon loop.
+        self._store = None
+        self._slots: list[int] = []
+        nodes = [d.interface.node for d in daemons]
+        store = getattr(nodes[0], "_store", None)
+        if store is not None and all(
+            getattr(n, "_store", None) is store for n in nodes
+        ):
+            self._store = store
+            self._slots = [n._slot for n in nodes]
 
     def attach(self, sim: Simulator) -> PeriodicTask:
         """Arm the cron job; also takes the t=0 baseline sample."""
@@ -228,6 +240,20 @@ class SystemCollector(SampleSeries):
         return sample
 
     def _collect(self, now: float) -> SystemSample:
+        if self._store is not None:
+            ids, missing, matrix = self._collect_batched(now)
+        else:
+            ids, missing, matrix = self._collect_scalar(now)
+        sample = SystemSample(
+            time=now, node_ids=tuple(ids), matrix=matrix, missing=tuple(missing)
+        )
+        self.samples.append(sample)
+        self._intervals_cache = None
+        self._publish(sample)
+        return sample
+
+    def _collect_scalar(self, now: float):
+        """Per-daemon polling loop (legacy scalar accrual backend)."""
         matrix = np.empty((len(self.daemons), len(FLAT_NAMES)), dtype=np.int64)
         ids: list[int] = []
         missing: list[int] = []
@@ -241,13 +267,29 @@ class SystemCollector(SampleSeries):
             ids.append(daemon.node_id)
             row += 1
         matrix = matrix[:row].copy() if row < len(self.daemons) else matrix
-        sample = SystemSample(
-            time=now, node_ids=tuple(ids), matrix=matrix, missing=tuple(missing)
-        )
-        self.samples.append(sample)
-        self._intervals_cache = None
-        self._publish(sample)
-        return sample
+        return ids, missing, matrix
+
+    def _collect_batched(self, now: float):
+        """One masked sweep over the shared counter store.
+
+        Unreachable nodes are masked *out of the sweep entirely* — the
+        scalar path never syncs a node whose daemon is down, and a down
+        node's clock advancing in two pieces instead of one would change
+        its accumulators bitwise.  Gap flagging (``missing``) follows the
+        same daemon order as the scalar loop.
+        """
+        ids: list[int] = []
+        missing: list[int] = []
+        slots: list[int] = []
+        for daemon, slot in zip(self.daemons, self._slots):
+            if daemon.available:
+                ids.append(daemon.node_id)
+                slots.append(slot)
+            else:
+                missing.append(daemon.node_id)
+        self._store.sync_slots(slots, now)
+        matrix = self._store.snapshot_matrix(slots)
+        return ids, missing, matrix
 
     def _publish(self, sample: SystemSample) -> None:
         """Feed the streaming side: the sample itself, plus node

@@ -174,14 +174,67 @@ class Node:
         #: phase is recorded on the node's own wall-time axis.
         self.tracer = None
         #: Total simulated wall seconds this node has accounted.
-        self.wall_seconds = 0.0
-        self.busy_seconds = 0.0
+        self._wall_seconds = 0.0
+        self._busy_seconds = 0.0
         # Campaign fast-path state (see install_rates/sync).
         self._last_sync = 0.0
         self._user_rates: np.ndarray | None = None
         self._system_rates: np.ndarray = self._background_rates()
         self._rates_busy = False
         self._flops_per_s = 0.0
+        # Batched-accrual attachment (see attach_store): when set, all
+        # fast-path state above lives in the shared store's slot instead.
+        self._store = None
+        self._slot = -1
+
+    # ------------------------------------------------------------------
+    # Batched accrual attachment
+    # ------------------------------------------------------------------
+    def attach_store(self, store, slot: int) -> None:
+        """Move this node's accumulators into a shared
+        :class:`~repro.power2.batch.CounterStore` slot.
+
+        Must happen on a pristine node (machine construction time): the
+        slot starts from zero, so migrating accrued state is neither
+        needed nor supported.  After attachment ``self.monitor`` is a
+        store-backed facade and ``sync``/``install_rates``/``halt``/
+        ``resume`` delegate to the store — same arithmetic, executed as
+        flat array rows so the collector can sweep all nodes at once.
+        """
+        from repro.power2.batch import StoreMonitor
+
+        if self._wall_seconds or self._busy_seconds or self._last_sync:
+            raise RuntimeError("cannot attach a store to a node with history")
+        self._store = store
+        self._slot = slot
+        store.configure_slot(slot, self._background_rates())
+        self.monitor = StoreMonitor(store, slot)
+
+    @property
+    def wall_seconds(self) -> float:
+        if self._store is not None:
+            return self._store.wall(self._slot)
+        return self._wall_seconds
+
+    @wall_seconds.setter
+    def wall_seconds(self, value: float) -> None:
+        if self._store is not None:
+            self._store.set_wall(self._slot, value)
+        else:
+            self._wall_seconds = value
+
+    @property
+    def busy_seconds(self) -> float:
+        if self._store is not None:
+            return self._store.busy(self._slot)
+        return self._busy_seconds
+
+    @busy_seconds.setter
+    def busy_seconds(self, value: float) -> None:
+        if self._store is not None:
+            self._store.set_busy(self._slot, value)
+        else:
+            self._busy_seconds = value
 
     # ------------------------------------------------------------------
     # Memory management
@@ -334,6 +387,12 @@ class Node:
 
         ``None`` rates mean "idle": only the background OS vector ticks.
         """
+        if self._store is not None:
+            self._store.sync_one(self._slot, now)
+            self._store.install(
+                self._slot, user_rates, system_rates, busy=busy, flops_per_s=flops_per_s
+            )
+            return
         self.sync(now)
         self._user_rates = (
             np.zeros(BANK_SIZE) if user_rates is None else np.asarray(user_rates, dtype=float)
@@ -348,6 +407,9 @@ class Node:
 
     def sync(self, now: float) -> None:
         """Integrate installed rates up to simulated time ``now``."""
+        if self._store is not None:
+            self._store.sync_one(self._slot, now)
+            return
         last = self._last_sync
         if now < last - 1e-9:
             raise ValueError(f"sync cannot run backwards ({now} < {last})")
@@ -373,6 +435,10 @@ class Node:
         at repair, so the collector's per-node series stays monotone
         (the delta algebra asserts counters never run backwards).
         """
+        if self._store is not None:
+            self._store.sync_one(self._slot, now)
+            self._store.halt(self._slot)
+            return
         self.sync(now)
         zero = np.zeros(BANK_SIZE)
         self._user_rates = zero

@@ -16,6 +16,7 @@ without per-figure tuning.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -24,6 +25,45 @@ from repro.workload.kernels import KernelSpec, kernel
 from repro.workload.profile import CommPattern, IOPattern, JobProfile, build_job_profile
 
 MB = 1024 * 1024
+
+
+@lru_cache(maxsize=2048)
+def _cached_profile(
+    app_name: str,
+    kernel_spec: KernelSpec,
+    nodes: int,
+    flops_iter: float,
+    walltime: float,
+    memory: float,
+    comm: CommPattern,
+    io: IOPattern,
+    serial: float,
+) -> JobProfile:
+    """Memoized profile construction for one concrete job draw.
+
+    Every argument is hashable and :func:`build_job_profile` is pure, so
+    re-drawing the same job (a differential scalar-vs-vectorized pair, a
+    re-merged shard, a resumed campaign) reuses the frozen profile —
+    same object, same bits — instead of re-running the cycle model and
+    switch costing.  Profiles are immutable downstream: PBS derives new
+    arrays from the rate vectors, never writes into them.
+    """
+    return build_job_profile(
+        app_name=app_name,
+        kernel=kernel_spec,
+        nodes=nodes,
+        flops_per_node_per_iteration=flops_iter,
+        walltime_seconds=walltime,
+        memory_bytes_per_node=memory,
+        comm=comm,
+        io=io,
+        serial_fraction=serial,
+    )
+
+
+def clear_profile_cache() -> None:
+    """Drop memoized job profiles (for leak-hunting tests)."""
+    _cached_profile.cache_clear()
 
 
 @dataclass(frozen=True)
@@ -110,16 +150,8 @@ class ApplicationTemplate:
             global_syncs=self.global_syncs if n > 1 else 0,
         )
         io = IOPattern(bytes_per_checkpoint=self.checkpoint_mbytes * MB)
-        return build_job_profile(
-            app_name=self.name,
-            kernel=k,
-            nodes=n,
-            flops_per_node_per_iteration=flops_iter,
-            walltime_seconds=walltime,
-            memory_bytes_per_node=memory,
-            comm=comm,
-            io=io,
-            serial_fraction=serial,
+        return _cached_profile(
+            self.name, k, n, flops_iter, walltime, memory, comm, io, serial
         )
 
 

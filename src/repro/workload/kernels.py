@@ -22,11 +22,17 @@ Anchors from the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import lru_cache
 
 from repro.power2.config import MachineConfig, POWER2_590
 from repro.power2.dcache import SetAssociativeCache
 from repro.power2.isa import InstructionMix
-from repro.power2.pipeline import DependencyProfile, MemoryBehaviour
+from repro.power2.pipeline import (
+    CycleModel,
+    DependencyProfile,
+    ExecutionResult,
+    MemoryBehaviour,
+)
 from repro.power2.tlb import TLB
 
 
@@ -268,3 +274,32 @@ def kernel(name: str) -> KernelSpec:
         return KERNELS[name]
     except KeyError:
         raise KeyError(f"unknown kernel {name!r}; known: {sorted(KERNELS)}") from None
+
+
+@lru_cache(maxsize=4096)
+def evaluate_kernel(
+    spec: KernelSpec, flops: float, config: MachineConfig = POWER2_590
+) -> ExecutionResult:
+    """Cost ``flops`` flops of ``spec`` on ``config`` — memoized.
+
+    The cycle model is a pure function of ``(spec, flops, config)`` and
+    every argument is a frozen, hashable dataclass, so repeated
+    evaluations (double campaign runs in differential tests, re-merged
+    shards, the NPB suite report regenerating tables) return the *same*
+    frozen :class:`~repro.power2.pipeline.ExecutionResult` instead of
+    re-running the dispatch/cache/TLB pipeline.  Identical object,
+    identical bits — memoization cannot change output.
+
+    Only catalog-style :class:`KernelSpec` kernels are cacheable;
+    instrumented-code adapters (``_MixKernel``) are unhashable by design
+    and take the uncached path in
+    :func:`repro.workload.profile.build_job_profile`.
+    """
+    model = CycleModel(config)
+    mix = spec.mix_for_flops(flops)
+    return model.execute(mix, spec.memory_behaviour(config), spec.deps)
+
+
+def clear_kernel_cache() -> None:
+    """Drop memoized kernel evaluations (for leak-hunting tests)."""
+    evaluate_kernel.cache_clear()

@@ -18,6 +18,7 @@ all-to-all).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.power2.pipeline import DependencyProfile
 from repro.workload.kernels import AccessPattern, KernelSpec
@@ -45,7 +46,15 @@ class NPBSpec:
     memory_per_node: float
 
     def job_profile(self) -> JobProfile:
-        """Build the job profile for one full benchmark run."""
+        """Build the job profile for one full benchmark run.
+
+        Memoized per ``(benchmark, class)``: the spec is a frozen
+        hashable dataclass and the build is pure, so regenerating
+        Table 4 or the suite report reuses the frozen profile.
+        """
+        return _cached_job_profile(self)
+
+    def _build_job_profile(self) -> JobProfile:
         flops_per_node_per_iter = (
             self.total_gflop * 1e9 / self.processes / self.iterations
         )
@@ -77,6 +86,11 @@ class NPBSpec:
             comm_fraction=profile.comm_fraction,
             io_fraction=profile.io_fraction,
         )
+
+
+@lru_cache(maxsize=64)
+def _cached_job_profile(spec: "NPBSpec") -> JobProfile:
+    return spec._build_job_profile()
 
 
 def _kernel(name: str, **kw: object) -> KernelSpec:

@@ -40,7 +40,7 @@ from repro.power2.node import (
     OS_BASE_ICU_RATE,
 )
 from repro.power2.pipeline import CycleModel
-from repro.workload.kernels import KernelSpec
+from repro.workload.kernels import KernelSpec, evaluate_kernel
 
 #: System-mode protocol cost per message and per byte (MPI/PVM stacks of
 #: the era ran their transport in kernel mode through the adapter).
@@ -189,10 +189,16 @@ def build_job_profile(
     if nodes == 1:
         comm = CommPattern()  # nobody to talk to
 
-    # 1. Compute phase.
-    model = CycleModel(cfg)
-    mix = kernel.mix_for_flops(flops_per_node_per_iteration)
-    result = model.execute(mix, kernel.memory_behaviour(cfg), kernel.deps)
+    # 1. Compute phase.  Catalog kernels are frozen/hashable, so their
+    # evaluation memoizes; instrumented-mix adapters are not and run the
+    # model directly.
+    if isinstance(kernel, KernelSpec):
+        result = evaluate_kernel(kernel, flops_per_node_per_iteration, cfg)
+    else:
+        model = CycleModel(cfg)
+        mix = kernel.mix_for_flops(flops_per_node_per_iteration)
+        result = model.execute(mix, kernel.memory_behaviour(cfg), kernel.deps)
+    mix = result.mix
     compute_s = result.seconds
 
     # 2. Communication phase.

@@ -1,0 +1,326 @@
+"""Differential equivalence: scalar vs. batched counter accrual.
+
+The vectorized backends (:mod:`repro.power2.batch`) promise *bitwise*
+identical accumulators to the legacy per-node path — goldens and the
+parallel runner's byte-for-byte merge invariants depend on it.  These
+property tests drive all three implementations (detached scalar
+:class:`Node`, numpy store, pure-python store) through identical random
+schedules of rate installs, syncs, crashes/repairs, direct accruals and
+phase work, and demand exact float equality at every step.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power2.batch import (
+    BACKEND_CHOICES,
+    HAVE_NUMPY,
+    NumpyCounterStore,
+    PythonCounterStore,
+    make_store,
+    resolve_backend,
+)
+from repro.power2.config import POWER2_590
+from repro.power2.counters import BANK_SIZE, Mode, rates_vector
+from repro.power2.node import Node
+from repro.power2.pipeline import CycleModel
+from repro.workload.kernels import (
+    KERNELS,
+    clear_kernel_cache,
+    evaluate_kernel,
+    kernel,
+)
+
+# ---------------------------------------------------------------------------
+# Harness: one scalar node + one node attached to each store flavour
+# ---------------------------------------------------------------------------
+
+
+def make_trio(n_nodes=1):
+    """(scalar nodes, numpy-attached nodes, python-attached nodes)."""
+    scalar = [Node(i) for i in range(n_nodes)]
+    np_store = NumpyCounterStore(n_nodes)
+    py_store = PythonCounterStore(n_nodes)
+    np_nodes, py_nodes = [], []
+    for i in range(n_nodes):
+        a, b = Node(i), Node(i)
+        a.attach_store(np_store, i)
+        b.attach_store(py_store, i)
+        np_nodes.append(a)
+        py_nodes.append(b)
+    return scalar, np_nodes, py_nodes
+
+
+def assert_bitwise_equal(reference: Node, *others: Node):
+    """Exact accumulator/clock equality across implementations."""
+    ref_user = np.asarray(reference.monitor.banks[Mode.USER].raw_vector())
+    ref_sys = np.asarray(reference.monitor.banks[Mode.SYSTEM].raw_vector())
+    for other in others:
+        got_user = np.asarray(other.monitor.banks[Mode.USER].raw_vector())
+        got_sys = np.asarray(other.monitor.banks[Mode.SYSTEM].raw_vector())
+        # tobytes comparison is bit-exact (catches ±0.0 drift that == hides)
+        assert ref_user.tobytes() == got_user.tobytes()
+        assert ref_sys.tobytes() == got_sys.tobytes()
+        assert reference.wall_seconds == other.wall_seconds
+        assert reference.busy_seconds == other.busy_seconds
+        assert reference.monitor.flat_snapshot() == other.monitor.flat_snapshot()
+        ref_vec = reference.monitor.snapshot_vector()
+        got_vec = np.asarray(other.monitor.snapshot_vector())
+        assert np.array_equal(ref_vec, got_vec)
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+rate_values = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+bank_rates = st.lists(rate_values, min_size=BANK_SIZE, max_size=BANK_SIZE)
+deltas = st.floats(min_value=0.0, max_value=1e5, allow_nan=False)
+
+# One schedule step: advance time by dt, then perform an action.
+steps = st.lists(
+    st.tuples(
+        deltas,
+        st.sampled_from(["sync", "install", "idle", "halt", "resume", "accrue"]),
+        bank_rates,
+        bank_rates,
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def apply_step(node: Node, now: float, action: str, user, system, busy):
+    if action == "sync":
+        node.sync(now)
+    elif action == "install":
+        node.install_rates(
+            now, np.asarray(user), np.asarray(system), busy=busy, flops_per_s=1.0
+        )
+    elif action == "idle":
+        node.install_rates(now)
+    elif action == "halt":
+        node.halt(now)
+    elif action == "resume":
+        node.resume(now)
+    elif action == "accrue":
+        node.monitor.accrue_raw({"fxu0": user[0], "cycles": user[4]}, Mode.SYSTEM)
+        node.monitor.accrue_dma(reads=system[0], writes=system[1])
+
+
+class TestScheduleEquivalence:
+    @given(steps)
+    @settings(max_examples=120, deadline=None)
+    def test_random_schedules_bitwise_identical(self, schedule):
+        """Any interleaving of installs/syncs/crashes accrues identically."""
+        (scalar,), (np_node,), (py_node,) = make_trio(1)
+        now = 0.0
+        for dt, action, user, system, busy in schedule:
+            now += dt
+            for node in (scalar, np_node, py_node):
+                apply_step(node, now, action, user, system, busy)
+            assert_bitwise_equal(scalar, np_node, py_node)
+
+    @given(bank_rates, st.lists(deltas, min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_interval_partitions_identical(self, rates, dts):
+        """The *same* sync schedule accrues identically on every backend.
+
+        (Different partitions of the same span are NOT bitwise equal —
+        float addition doesn't distribute — which is exactly why the
+        batched collector must skip unreachable nodes rather than sync
+        them late; see test_masked_multi_node_sweeps and the collector
+        regression tests in tests/hpm.)
+        """
+        (scalar,), (np_node,), (py_node,) = make_trio(1)
+        vec = np.asarray(rates)
+        now = 0.0
+        for node in (scalar, np_node, py_node):
+            node.install_rates(0.0, vec, busy=True)
+        for dt in dts:
+            now += dt
+            for node in (scalar, np_node, py_node):
+                node.sync(now)
+            assert_bitwise_equal(scalar, np_node, py_node)
+
+    @given(
+        st.lists(bank_rates, min_size=2, max_size=4),
+        st.lists(
+            st.tuples(deltas, st.lists(st.booleans(), min_size=2, max_size=4)),
+            min_size=1,
+            max_size=10,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_masked_multi_node_sweeps(self, per_node_rates, passes):
+        """store.sync_slots over a random availability mask == per-node
+        scalar syncs of exactly the available nodes (fault schedules)."""
+        n = len(per_node_rates)
+        scalar, np_nodes, py_nodes = make_trio(n)
+        np_store = np_nodes[0]._store
+        py_store = py_nodes[0]._store
+        for i, rates in enumerate(per_node_rates):
+            vec = np.asarray(rates)
+            for group in (scalar, np_nodes, py_nodes):
+                group[i].install_rates(0.0, vec, busy=True)
+        now = 0.0
+        for dt, mask in passes:
+            now += dt
+            up = [i for i in range(n) if mask[i % len(mask)]]
+            for i in up:
+                scalar[i].sync(now)
+            np_store.sync_slots(up, now)
+            py_store.sync_slots(up, now)
+            matrix_np = np_store.snapshot_matrix(up)
+            matrix_py = py_store.snapshot_matrix(up)
+            for row, i in enumerate(up):
+                ref = scalar[i].monitor.snapshot_vector()
+                assert np.array_equal(ref, matrix_np[row])
+                assert np.array_equal(ref, np.asarray(matrix_py[row]))
+            for i in range(n):
+                assert_bitwise_equal(scalar[i], np_nodes[i], py_nodes[i])
+
+
+class TestKernelMemoization:
+    @given(
+        st.sampled_from(sorted(KERNELS)),
+        st.floats(min_value=1.0, max_value=1e12, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_memoized_evaluation_identical_to_direct(self, name, flops):
+        """evaluate_kernel returns exactly what the uncached model does,
+        over random instruction mixes (kernel × flop count)."""
+        spec = kernel(name)
+        clear_kernel_cache()
+        cached = evaluate_kernel(spec, flops, POWER2_590)
+        model = CycleModel(POWER2_590)
+        direct = model.execute(
+            spec.mix_for_flops(flops), spec.memory_behaviour(POWER2_590), spec.deps
+        )
+        assert cached == direct
+        # Second call: same frozen object, no recomputation.
+        assert evaluate_kernel(spec, flops, POWER2_590) is cached
+
+    def test_jittered_specs_cache_separately(self):
+        spec = kernel("cfd_multiblock")
+        other = spec.with_(fma_flop_fraction=spec.fma_flop_fraction + 0.01)
+        clear_kernel_cache()
+        a = evaluate_kernel(spec, 1e9, POWER2_590)
+        b = evaluate_kernel(other, 1e9, POWER2_590)
+        assert a != b
+        assert evaluate_kernel.cache_info().currsize == 2
+
+
+class TestBackendSelection:
+    def test_resolve_backend_names(self):
+        assert resolve_backend(None) in ("numpy", "python")
+        assert resolve_backend("scalar") == "scalar"
+        assert resolve_backend("python") == "python"
+        if HAVE_NUMPY:
+            assert resolve_backend("auto") == "numpy"
+            assert resolve_backend("vectorized") == "numpy"
+            assert resolve_backend("numpy") == "numpy"
+        with pytest.raises(ValueError):
+            resolve_backend("cuda")
+
+    def test_choices_cover_cli_surface(self):
+        assert set(BACKEND_CHOICES) == {"auto", "scalar", "vectorized", "numpy", "python"}
+
+    def test_make_store_flavours(self):
+        assert isinstance(make_store(4, "python"), PythonCounterStore)
+        if HAVE_NUMPY:
+            assert isinstance(make_store(4, "numpy"), NumpyCounterStore)
+        with pytest.raises(ValueError):
+            make_store(4, "scalar")
+
+
+class TestStoreSemantics:
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_backwards_sync_rejected(self, backend):
+        store = make_store(2, backend)
+        store.configure_slot(0, [0.0] * BANK_SIZE)
+        store.sync_one(0, 100.0)
+        with pytest.raises(ValueError):
+            store.sync_one(0, 50.0)
+        with pytest.raises(ValueError):
+            store.sync_slots([0], 50.0)
+
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_negative_accrual_rejected(self, backend):
+        store = make_store(1, backend)
+        store.configure_slot(0, [0.0] * BANK_SIZE)
+        with pytest.raises(ValueError):
+            store.add(0, Mode.USER, "fpu0", -1.0)
+
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_broken_divide_counters_read_zero(self, backend):
+        node = Node(0)
+        node.attach_store(make_store(1, backend), 0)
+        node.install_rates(0.0, rates_vector({"fpu0_fp_div": 1e6, "fpu0": 1e6}))
+        node.sync(100.0)
+        assert node.monitor.banks[Mode.USER].read("fpu0_fp_div") == 0
+        assert node.monitor.banks[Mode.USER].raw("fpu0_fp_div") == 1e8
+        assert node.monitor.banks[Mode.USER].read("fpu0") == 10**8
+
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_zero_length_interval_is_bitwise_noop(self, backend):
+        """Syncing twice at the same instant must not perturb a single
+        bit (the batched sweep applies dt=0 unconditionally where the
+        scalar path early-returns; ``x + rate*0.0`` is the identity for
+        the non-negative accumulators)."""
+        node = Node(0)
+        node.attach_store(make_store(1, backend), 0)
+        node.install_rates(0.0, rates_vector({"fpu0": 1.0 / 3.0}), busy=True)
+        node.sync(123.456)
+        before = bytes(
+            np.asarray(node.monitor.banks[Mode.USER].raw_vector()).tobytes()
+        )
+        wall = node.wall_seconds
+        node.sync(123.456)
+        node._store.sync_slots([0], 123.456)
+        after = bytes(np.asarray(node.monitor.banks[Mode.USER].raw_vector()).tobytes())
+        assert after == before
+        assert node.wall_seconds == wall
+
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_hardware_read_wraps_32bit_like_scalar(self, backend):
+        """Counter saturation: the physical registers are 32-bit and the
+        store's hardware view must wrap exactly like the scalar bank."""
+        scalar = Node(0)
+        attached = Node(0)
+        attached.attach_store(make_store(1, backend), 0)
+        vec = rates_vector({"cycles": 66.7e6, "fpu0": 1e6})
+        for n in (scalar, attached):
+            n.install_rates(0.0, vec, busy=True)
+            n.sync(100.0)  # cycles accrue 6.67e9 > 2**32: wraps
+        ref = scalar.monitor.banks[Mode.USER]
+        got = attached.monitor.banks[Mode.USER]
+        assert ref.raw("cycles") > 2**32
+        assert ref.hardware_read("cycles") == got.hardware_read("cycles")
+        assert got.hardware_read("cycles") == int(ref.raw("cycles")) % 2**32
+        assert ref.hardware_read("fpu0") == got.hardware_read("fpu0")
+
+    def test_attach_requires_pristine_node(self):
+        node = Node(0)
+        node.sync(10.0)
+        with pytest.raises(RuntimeError):
+            node.attach_store(make_store(1, "python"), 0)
+
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_counter_freeze_across_crash(self, backend):
+        """halt/resume freezes counters exactly like the scalar node."""
+        scalar = Node(0)
+        attached = Node(0)
+        attached.attach_store(make_store(1, backend), 0)
+        vec = rates_vector({"fpu0_fp_add": 1e6, "cycles": 3e7})
+        for n in (scalar, attached):
+            n.install_rates(0.0, vec, busy=True)
+            n.sync(50.0)
+            n.halt(60.0)
+            n.sync(200.0)  # outage: frozen
+            n.resume(250.0)
+            n.sync(300.0)  # idle background only
+        assert_bitwise_equal(scalar, attached)

@@ -93,3 +93,37 @@ class TestValidation:
     def test_fxu1_share_out_of_range(self):
         with pytest.raises(ValueError):
             DispatchModel(fxu1_address_share=-0.1)
+
+
+class TestEdgeCases:
+    def test_empty_mix_dispatches_nothing(self):
+        """Zero-length work: every unit count is exactly zero."""
+        d = DispatchModel().split(InstructionMix())
+        for field in ("fpu0", "fpu1", "fxu0", "fxu1", "icu_type1", "icu_type2"):
+            assert getattr(d, field) == 0.0
+        assert d.fxu_total == 0.0
+        assert d.fpu_ratio == float("inf")
+
+    def test_boundary_parameters_accepted(self):
+        DispatchModel(ilp=0.0, fxu1_address_share=0.0)
+        DispatchModel(ilp=1.0, fxu1_address_share=1.0)
+
+    def test_ratio_one_needs_full_ilp(self):
+        assert DispatchModel.ilp_for_fpu_ratio(1.0) == pytest.approx(1.0)
+
+    def test_zero_ilp_still_spills_half_the_divides(self):
+        """Multicycle ops spill even with no ILP: the queue stalls on
+        the long op either way, so the 0.5 floor applies."""
+        d = DispatchModel(ilp=0.0).split(InstructionMix(fp_div=100.0))
+        assert d.fpu1_div == pytest.approx(50.0)
+        assert d.fpu0_div == pytest.approx(50.0)
+
+    def test_quad_memory_insts_conserved_across_fxus(self):
+        mix = InstructionMix(quad_loads=40.0, quad_stores=20.0)
+        d = DispatchModel().split(mix)
+        assert d.fxu_total == pytest.approx(mix.fxu_insts)
+        assert d.fxu0 == pytest.approx(d.fxu1)
+
+    def test_sqrt_folded_into_divide_accounting(self):
+        d = DispatchModel(ilp=0.5).split(InstructionMix(fp_sqrt=10.0))
+        assert d.fpu0_div + d.fpu1_div == pytest.approx(10.0)

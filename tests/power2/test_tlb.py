@@ -79,3 +79,42 @@ class TestPaperAnchors:
     def test_nonpositive_stride_rejected(self):
         with pytest.raises(ValueError):
             TLB.strided_miss_ratio(POWER2_590.tlb, -8)
+
+
+class TestEdgeCases:
+    def test_non_power_of_two_page_rejected(self):
+        with pytest.raises(ValueError):
+            TLB(TLBGeometry(page_bytes=3000))
+
+    def test_empty_run_is_zero_length_interval(self):
+        stats = TLB().run(np.array([], dtype=np.int64))
+        assert (stats.accesses, stats.hits, stats.misses) == (0, 0, 0)
+        assert stats.miss_ratio == 0.0
+
+    def test_lru_evicts_least_recently_used_way(self):
+        # One set, two ways: touching A keeps it resident while C
+        # evicts B, the older translation.
+        t = TLB(TLBGeometry(entries=2, associativity=2))
+        a, b, c = 0, 4096, 8192
+        assert t.access(a) is False
+        assert t.access(b) is False
+        assert t.access(a) is True  # refresh A
+        assert t.access(c) is False  # evicts B
+        assert t.access(a) is True
+        assert t.access(b) is False  # B was the victim
+
+    def test_flush_mid_stream_restarts_cold(self):
+        t = TLB()
+        t.run(np.arange(0, 16 * 4096, 4096))
+        t.flush()
+        t.reset_stats()
+        stats = t.run(np.arange(0, 16 * 4096, 4096))
+        assert stats.misses == 16
+
+    def test_sequential_ratio_scales_with_element_size(self):
+        g = POWER2_590.tlb
+        assert TLB.sequential_miss_ratio(g, 16) == pytest.approx(2.0 / 512.0)
+
+    def test_sub_element_stride_floors_at_element_size(self):
+        g = POWER2_590.tlb
+        assert TLB.strided_miss_ratio(g, 1) == TLB.strided_miss_ratio(g, 8)
