@@ -24,6 +24,7 @@ setup(
         "console_scripts": [
             "sp2-study = repro.cli:main",
             "sp2-ops = repro.ops_cli:main",
+            "sp2-fleet = repro.fleet_cli:main",
         ]
     },
 )

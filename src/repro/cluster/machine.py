@@ -12,7 +12,7 @@ from typing import Iterable, Sequence
 from repro.cluster.filesystem import NFSFilesystem
 from repro.cluster.switch import HighPerformanceSwitch
 from repro.power2.batch import make_store, resolve_backend
-from repro.power2.config import MachineConfig, POWER2_590
+from repro.power2.config import MachineConfig, POWER2_590, SwitchConfig
 from repro.power2.node import Node, PhaseKind, WorkPhase
 
 #: The NAS SP2 size.
@@ -37,6 +37,7 @@ class SP2Machine:
         config: MachineConfig | None = None,
         *,
         accrual_backend: str = "scalar",
+        switch_config: SwitchConfig | None = None,
     ) -> None:
         if n_nodes <= 0:
             raise ValueError("machine needs at least one node")
@@ -49,7 +50,7 @@ class SP2Machine:
             self.store = make_store(n_nodes, self.accrual_backend)
             for node in self.nodes:
                 node.attach_store(self.store, node.node_id)
-        self.switch = HighPerformanceSwitch()
+        self.switch = HighPerformanceSwitch(switch_config)
         self.filesystem = NFSFilesystem(self.switch)
         self._free: set[int] = set(range(n_nodes))
         self._allocations: dict[int, tuple[int, ...]] = {}

@@ -17,7 +17,7 @@ import numpy as np
 from repro.cluster.machine import SP2Machine
 from repro.faults.events import FaultLog
 from repro.faults.profile import FaultProfile
-from repro.power2.config import MachineConfig
+from repro.power2.config import MachineConfig, SwitchConfig
 from repro.hpm.collector import SAMPLE_INTERVAL_SECONDS, SystemCollector
 from repro.hpm.daemon import NodeDaemon
 from repro.hpm.derived import DerivedRates, workload_rates
@@ -45,6 +45,9 @@ class StudyConfig:
     utilization_probe_interval: float = SAMPLE_INTERVAL_SECONDS
     #: Per-node hardware constants (None = the POWER2/590 defaults).
     machine_config: MachineConfig | None = None
+    #: Switch fabric characteristics (None = the SP2 High Performance
+    #: Switch defaults) — fleet members override this per machine.
+    switch_config: SwitchConfig | None = None
     #: Override the demand model's mean target load (None = default).
     demand_mean: float | None = None
     #: Fault-injection profile (None or a null profile = healthy run;
@@ -56,6 +59,30 @@ class StudyConfig:
     #: identical measurements — the flag exists for differential testing
     #: and benchmarking, not for trading accuracy against speed.
     accrual_backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        # Fail at construction with the offending value, not days deep
+        # inside the simulation with an empty-collector traceback.
+        if self.n_days <= 0:
+            raise ValueError(f"n_days must be positive, got {self.n_days}")
+        if self.n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {self.n_nodes}")
+        if self.n_users <= 0:
+            raise ValueError(f"n_users must be positive, got {self.n_users}")
+        if self.sample_interval <= 0:
+            raise ValueError(
+                f"sample_interval must be positive, got {self.sample_interval}"
+            )
+        if self.utilization_probe_interval <= 0:
+            raise ValueError(
+                "utilization_probe_interval must be positive, got "
+                f"{self.utilization_probe_interval}"
+            )
+        if self.demand_mean is not None and self.demand_mean <= 0:
+            raise ValueError(f"demand_mean must be positive, got {self.demand_mean}")
+        from repro.power2.batch import resolve_backend
+
+        resolve_backend(self.accrual_backend)  # unknown names raise here
 
 
 @dataclass
@@ -173,6 +200,7 @@ class WorkloadStudy:
             self.config.n_nodes,
             self.config.machine_config,
             accrual_backend=self.config.accrual_backend,
+            switch_config=self.config.switch_config,
         )
         # One bus per campaign: the collector and PBS publish, the
         # telemetry service consumes — the streaming counterpart of §3's

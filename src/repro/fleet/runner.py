@@ -1,0 +1,103 @@
+"""The federation runner: one fleet campaign, member by member.
+
+Each member machine runs its routed share of the fleet demand as an
+ordinary single-machine campaign — serially by default, or through the
+existing sharded runner (:mod:`repro.parallel`) when ``workers`` /
+``shard_days`` are given.  Determinism contract, extending the shard
+runner's:
+
+* every member's dataset is a pure function of ``(spec, member name)``
+  — never of member ordering, worker count, or scheduling order (fault
+  schedules come from a member-*name*-keyed RNG namespace, traces from
+  the fleet-level routed stream);
+* a **single-member** fleet run is byte-identical to the single-machine
+  :func:`repro.core.study.run_study` path at the same seed — same
+  trace, same fault schedule, same samples, same reports.  A one-member
+  fleet *is* the single-machine study (its fault namespace is the
+  campaign root, not a member key, to keep that contract exact even
+  under fault injection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.study import StudyDataset, WorkloadStudy
+from repro.fleet.routing import FleetTrace, generate_fleet_trace
+from repro.fleet.spec import FleetSpec, MemberSpec
+from repro.util.rng import RngStreams, member_key
+
+
+@dataclass
+class MemberResult:
+    """One machine's campaign inside a fleet run."""
+
+    spec: MemberSpec
+    dataset: StudyDataset
+
+
+@dataclass
+class FleetDataset:
+    """Everything a fleet campaign measured, per member."""
+
+    spec: FleetSpec
+    trace: FleetTrace
+    members: list[MemberResult]
+
+    def member(self, name: str) -> StudyDataset:
+        for m in self.members:
+            if m.spec.name == name:
+                return m.dataset
+        raise KeyError(f"no fleet member named {name!r}")
+
+    def datasets(self) -> dict[str, StudyDataset]:
+        return {m.spec.name: m.dataset for m in self.members}
+
+
+def _member_fault_namespace(spec: FleetSpec, member: MemberSpec) -> tuple[int, ...]:
+    """Single-member fleets use the campaign-root tree (the degenerate
+    contract above); real fleets key each member's faults by name."""
+    if len(spec.members) == 1:
+        return ()
+    return member_key(member.name)
+
+
+def run_fleet(
+    spec: FleetSpec,
+    *,
+    workers: int | None = None,
+    shard_days: int | None = None,
+) -> FleetDataset:
+    """Run the whole fleet campaign and return the per-member datasets.
+
+    With ``workers``/``shard_days``, each member campaign executes
+    through the sharded runner on its routed trace (split into day-range
+    shards); member output depends on the shard plan but never on the
+    worker count, exactly like single-machine campaigns.
+    """
+    trace = generate_fleet_trace(spec)
+    sharded = workers is not None or shard_days is not None
+    results: list[MemberResult] = []
+    for member in spec.members:
+        config = spec.member_config(member)
+        member_trace = trace.member_traces[member.name]
+        namespace = _member_fault_namespace(spec, member)
+        if sharded:
+            from repro.parallel.runner import run_parallel_study
+
+            dataset = run_parallel_study(
+                config,
+                workers=workers or 1,
+                shard_days=shard_days,
+                trace=member_trace,
+                fault_namespace=namespace,
+            )
+        else:
+            fault_streams = (
+                RngStreams(spec.seed, spawn_key=namespace) if namespace else None
+            )
+            study = WorkloadStudy(config, fault_streams=fault_streams)
+            study.sim.label = f"fleet:{member.name}"
+            dataset = study.run(member_trace)
+        results.append(MemberResult(spec=member, dataset=dataset))
+    return FleetDataset(spec=spec, trace=trace, members=results)

@@ -1,0 +1,185 @@
+"""``sp2-fleet`` — federated campaigns across many SP2-class machines.
+
+Where ``sp2-study`` measures the paper's one 144-node machine,
+``sp2-fleet`` runs a whole *fleet* of heterogeneous centers against a
+shared user population and compares the workloads XDMoD-style: per
+-center utilization, job-size distribution and application mix.
+
+Examples::
+
+    sp2-fleet run --preset demo2 --days 5            # quick 2-center fleet
+    sp2-fleet run --preset demo3 --json              # machine-readable block
+    sp2-fleet run --spec fleet.json --out run.json   # custom fleet, saved
+    sp2-fleet report run.json                        # re-render saved tables
+    sp2-fleet compare baseline.json contender.json   # center-by-center diff
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+
+from repro.fleet.analysis import compare_fleets, fleet_summary, render_fleet_report
+from repro.fleet.runner import run_fleet
+from repro.fleet.spec import PRESETS, ROUTING_POLICIES, FleetSpec
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _load_json(path: str) -> dict:
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read {path!r}: {exc}")
+
+
+def _build_spec(args: argparse.Namespace) -> FleetSpec:
+    if args.spec is not None:
+        spec = FleetSpec.from_dict(_load_json(args.spec))
+    else:
+        spec = PRESETS[args.preset]
+    overrides = {
+        "n_days": args.days,
+        "seed": args.seed,
+        "n_users": args.users,
+        "routing": args.routing,
+    }
+    applied = {k: v for k, v in overrides.items() if v is not None}
+    return dataclasses.replace(spec, **applied) if applied else spec
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+def cmd_run(args: argparse.Namespace) -> int:
+    try:
+        spec = _build_spec(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    t0 = time.time()
+    print(
+        f"Running fleet {spec.name!r}: {len(spec.members)} centers, "
+        f"{spec.total_nodes} nodes, {spec.n_days} days, seed {spec.seed}...",
+        file=sys.stderr,
+    )
+    fleet = run_fleet(spec, workers=args.workers, shard_days=args.shard_days)
+    print(f"Fleet campaign done in {time.time() - t0:.1f}s.", file=sys.stderr)
+    document = {"spec": spec.to_dict(), **fleet_summary(fleet)}
+    if args.out is not None:
+        with open(args.out, "w") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"Saved fleet summary to {args.out}.", file=sys.stderr)
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(render_fleet_report(document))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    document = _load_json(args.summary)
+    if "fleet" not in document:
+        print(
+            f"error: {args.summary!r} has no 'fleet' block — is it a "
+            "'sp2-fleet run --out' file?",
+            file=sys.stderr,
+        )
+        return 2
+    print(render_fleet_report(document))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    docs = [_load_json(p) for p in (args.a, args.b)]
+    for path, doc in zip((args.a, args.b), docs):
+        if "fleet" not in doc:
+            print(f"error: {path!r} has no 'fleet' block", file=sys.stderr)
+            return 2
+    table = compare_fleets(docs[0], docs[1], label_a=args.a, label_b=args.b)
+    print(table.render())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="sp2-fleet",
+        description="Federated SP2 measurement campaigns across many machines.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a fleet campaign and report")
+    source = p_run.add_mutually_exclusive_group()
+    source.add_argument(
+        "--preset",
+        choices=sorted(PRESETS),
+        default="demo2",
+        help="built-in fleet definition (default demo2)",
+    )
+    source.add_argument(
+        "--spec", metavar="FILE", default=None, help="fleet definition JSON file"
+    )
+    p_run.add_argument("--days", type=_positive_int, default=None, help="override n_days")
+    p_run.add_argument("--seed", type=int, default=None, help="override the fleet seed")
+    p_run.add_argument("--users", type=_positive_int, default=None, help="override n_users")
+    p_run.add_argument(
+        "--routing",
+        choices=ROUTING_POLICIES,
+        default=None,
+        help="override the routing policy",
+    )
+    p_run.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="run each member campaign through the sharded runner on N workers",
+    )
+    p_run.add_argument(
+        "--shard-days",
+        type=_positive_int,
+        default=None,
+        metavar="K",
+        help="days per shard for --workers",
+    )
+    p_run.add_argument(
+        "--json", action="store_true", help="print the fleet block as JSON"
+    )
+    p_run.add_argument(
+        "--out", metavar="FILE", default=None, help="also save the JSON document"
+    )
+    p_run.set_defaults(func=cmd_run)
+
+    p_report = sub.add_parser("report", help="render tables from a saved run")
+    p_report.add_argument("summary", help="JSON file from 'sp2-fleet run --out'")
+    p_report.set_defaults(func=cmd_report)
+
+    p_cmp = sub.add_parser("compare", help="center-by-center diff of two runs")
+    p_cmp.add_argument("a", help="baseline JSON file")
+    p_cmp.add_argument("b", help="contender JSON file")
+    p_cmp.set_defaults(func=cmd_compare)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,8 +30,12 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from typing import TYPE_CHECKING
 
 from repro.core.study import StudyConfig, StudyDataset
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.workload.traces import CampaignTrace
 from repro.parallel.checkpoint import config_fingerprint, load_shard_result
 from repro.parallel.merge import merge_shard_results
 from repro.parallel.plan import Shard, plan_shards
@@ -107,6 +111,8 @@ def execute_shards(
     resume: bool = False,
     max_attempts: int = 3,
     backoff_seconds: float = 1.0,
+    traces: "list | None" = None,
+    fault_namespace: tuple[int, ...] = (),
 ) -> list[ShardResult]:
     """Run every shard, in-process or across a worker pool.
 
@@ -117,11 +123,26 @@ def execute_shards(
     shards are retried up to ``max_attempts`` times total, sleeping
     ``backoff_seconds × 2^(attempt-1)`` between attempts; shards still
     failing then raise :class:`ShardExecutionError`.
+
+    ``traces`` (shard-index-aligned, shard-local clocks) injects
+    pre-built submission streams instead of per-shard generation — the
+    fleet runner's path.  Checkpoints identify a shard by config alone,
+    so injected traces and checkpointing are mutually exclusive.
     """
     if max_attempts < 1:
         raise ValueError(f"max_attempts must be at least 1, got {max_attempts}")
     if resume and checkpoint_dir is None:
         raise ValueError("resume requires a checkpoint_dir")
+    if traces is not None:
+        if len(traces) != len(shards):
+            raise ValueError(
+                f"got {len(traces)} traces for {len(shards)} shards"
+            )
+        if checkpoint_dir is not None:
+            raise ValueError(
+                "checkpointing identifies shards by config alone and cannot "
+                "be combined with injected traces"
+            )
     n_shards = len(shards)
     fingerprint = ""
     if checkpoint_dir is not None:
@@ -143,6 +164,11 @@ def execute_shards(
             delay = backoff_seconds * 2 ** (attempt - 2)
             if delay > 0:
                 time.sleep(delay)
+        by_index = (
+            {shard.index: trace for shard, trace in zip(shards, traces)}
+            if traces is not None
+            else {}
+        )
         payloads = [
             (
                 config,
@@ -151,6 +177,8 @@ def execute_shards(
                 tracing,
                 checkpoint_dir if checkpoint_dir is not None else None,
                 fingerprint,
+                by_index.get(shard.index),
+                fault_namespace,
             )
             for shard in pending
         ]
@@ -191,6 +219,8 @@ def run_parallel_study(
     resume: bool = False,
     max_attempts: int = 3,
     backoff_seconds: float = 1.0,
+    trace: "CampaignTrace | None" = None,
+    fault_namespace: tuple[int, ...] = (),
 ) -> StudyDataset:
     """Run a campaign as independent day-range shards and merge.
 
@@ -218,9 +248,29 @@ def run_parallel_study(
         recomputing those shards.
     max_attempts / backoff_seconds:
         Retry policy for crashed shard workers (exponential backoff).
+    trace:
+        A pre-built campaign trace to replay instead of per-shard
+        generation (fleet members route a shared demand stream here).
+        Split into day-range shards by
+        :func:`repro.workload.traces.slice_trace`; incompatible with
+        checkpointing.
+    fault_namespace:
+        RNG spawn-key prefix for fault schedules (fleet members pass
+        :func:`repro.util.rng.member_key`; the empty default is the
+        single-machine tree).
     """
     config = config or StudyConfig()
     shards = plan_shards(config.n_days, shard_days)
+    traces = None
+    if trace is not None:
+        from repro.workload.traces import slice_trace
+
+        if trace.n_days != config.n_days or trace.n_nodes != config.n_nodes:
+            raise ValueError(
+                f"trace covers {trace.n_days} days on {trace.n_nodes} nodes, "
+                f"config wants {config.n_days} days on {config.n_nodes}"
+            )
+        traces = [slice_trace(trace, s.day_start, s.day_end) for s in shards]
     results = execute_shards(
         config,
         shards,
@@ -231,5 +281,7 @@ def run_parallel_study(
         resume=resume,
         max_attempts=max_attempts,
         backoff_seconds=backoff_seconds,
+        traces=traces,
+        fault_namespace=fault_namespace,
     )
     return merge_shard_results(config, results, telemetry=telemetry, tracing=tracing)

@@ -23,7 +23,7 @@ from repro.hpm.collector import SystemSample
 from repro.parallel.plan import Shard
 from repro.pbs.job import JobRecord
 from repro.telemetry.bus import SimTruncated
-from repro.util.rng import spawn_stream
+from repro.util.rng import RngStreams, spawn_stream
 from repro.workload.traces import (
     CampaignTrace,
     Submission,
@@ -98,10 +98,26 @@ def shard_trace(config: StudyConfig, shard: Shard, n_shards: int) -> CampaignTra
 
 
 def run_shard(
-    config: StudyConfig, shard: Shard, n_shards: int, *, tracing: bool = False
+    config: StudyConfig,
+    shard: Shard,
+    n_shards: int,
+    *,
+    tracing: bool = False,
+    trace: CampaignTrace | None = None,
+    fault_namespace: tuple[int, ...] = (),
 ) -> ShardResult:
-    """Execute one shard and reduce it to its picklable result."""
-    trace = shard_trace(config, shard, n_shards)
+    """Execute one shard and reduce it to its picklable result.
+
+    ``trace`` injects a pre-built shard-local submission stream instead
+    of drawing one from the shard's RNG tree — the fleet runner routes a
+    shared fleet demand to member machines and hands each member's slice
+    in here.  ``fault_namespace`` prefixes the fault-schedule RNG spawn
+    key (:func:`repro.util.rng.member_key`) so each fleet member's fault
+    realization is independent yet ordering-invariant; the empty default
+    keeps single-machine campaigns byte-identical to earlier releases.
+    """
+    if trace is None:
+        trace = shard_trace(config, shard, n_shards)
     shard_config = replace(config, n_days=shard.n_days)
     tracer = None
     if tracing:
@@ -111,15 +127,16 @@ def run_shard(
     # A multi-shard campaign draws each shard's fault schedule from the
     # shard's spawned tree — same identity as its submission trace — so
     # fault realizations never depend on worker count or run order.  The
-    # single-shard plan leaves it None: WorkloadStudy then uses the
-    # campaign-root tree, byte-identical to the serial path.
+    # single-shard plan uses the campaign-root tree of its namespace
+    # (``()`` = the serial path's tree, byte-identical to it).
     fault_streams = None
-    if (
-        n_shards > 1
-        and config.fault_profile is not None
-        and not config.fault_profile.is_null
-    ):
-        fault_streams = spawn_stream(config.seed, shard.index)
+    if config.fault_profile is not None and not config.fault_profile.is_null:
+        if n_shards > 1:
+            fault_streams = spawn_stream(
+                config.seed, shard.index, namespace=fault_namespace
+            )
+        elif fault_namespace:
+            fault_streams = RngStreams(config.seed, spawn_key=fault_namespace)
     study = WorkloadStudy(shard_config, tracer=tracer, fault_streams=fault_streams)
     study.sim.label = f"shard{shard.index}[{shard.day_start}:{shard.day_end}]"
     dataset = study.run(trace)
@@ -171,9 +188,11 @@ def _run_shard_task(payload: tuple) -> ShardResult:
     finishes, so completed work survives even if the parent (or a
     sibling worker) dies before collecting the result.
     """
-    config, shard, n_shards, tracing, checkpoint_dir, fingerprint = payload
+    config, shard, n_shards, tracing, checkpoint_dir, fingerprint, trace, ns = payload
     _maybe_simulated_crash(shard.index, checkpoint_dir)
-    result = run_shard(config, shard, n_shards, tracing=tracing)
+    result = run_shard(
+        config, shard, n_shards, tracing=tracing, trace=trace, fault_namespace=ns
+    )
     if checkpoint_dir is not None:
         from repro.parallel.checkpoint import save_shard_result
 

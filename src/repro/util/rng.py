@@ -72,8 +72,13 @@ class RngStreams:
 #: Spawn-key tag separating shard stream trees from everything else.
 _SHARD_TAG = 0x5348_4152_44  # "SHARD"
 
+#: Spawn-key tag for fleet-member stream trees (:mod:`repro.fleet`).
+_FLEET_TAG = 0x464C_4545_54  # "FLEET"
 
-def spawn_stream(seed: int, shard_id: int) -> RngStreams:
+
+def spawn_stream(
+    seed: int, shard_id: int, *, namespace: tuple[int, ...] = ()
+) -> RngStreams:
     """An :class:`RngStreams` tree for one shard of a sharded campaign.
 
     Shard ``shard_id`` of campaign ``seed`` always receives the same
@@ -86,10 +91,35 @@ def spawn_stream(seed: int, shard_id: int) -> RngStreams:
     (``RngStreams(seed)``) and from every other shard's tree by
     construction: child spawn keys are ``(tag, shard_id, name_hash)``
     versus the root's ``(name_hash,)``.
+
+    ``namespace`` prefixes the spawn key — fleet members pass
+    :func:`member_key` so member *m*'s shard trees are disjoint from
+    every other member's (and from single-machine campaigns) while
+    remaining a pure function of ``(seed, member name, shard_id)``.
     """
     if shard_id < 0:
         raise ValueError(f"shard_id must be non-negative, got {shard_id}")
-    return RngStreams(seed, spawn_key=(_SHARD_TAG, int(shard_id)))
+    return RngStreams(seed, spawn_key=(*namespace, _SHARD_TAG, int(shard_id)))
+
+
+def member_key(name: str) -> tuple[int, int]:
+    """The spawn-key namespace of fleet member ``name``.
+
+    Keyed by the member's *name*, not its position in the fleet spec, so
+    per-member random realizations (fault schedules, shard trees) are
+    invariant to member ordering.
+    """
+    return (_FLEET_TAG, _stable_hash(name))
+
+
+def member_streams(seed: int, name: str) -> RngStreams:
+    """The campaign-root stream tree of fleet member ``name``.
+
+    Disjoint from the single-machine root tree (``RngStreams(seed)``),
+    from shard trees, and from every other member's tree by spawn-key
+    construction.
+    """
+    return RngStreams(seed, spawn_key=member_key(name))
 
 
 def _stable_hash(name: str) -> int:

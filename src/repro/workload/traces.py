@@ -185,6 +185,41 @@ def generate_shard_trace(
     return trace
 
 
+def slice_trace(trace: CampaignTrace, day_start: int, day_end: int) -> CampaignTrace:
+    """The day range ``[day_start, day_end)`` of ``trace``, on a local
+    clock (day 0 of the slice is ``day_start``).
+
+    The sharded runner uses this to split an externally supplied trace
+    (a fleet member's routed submission stream) into day-range shards —
+    the counterpart of :func:`generate_shard_trace` for traces that are
+    *given* rather than drawn.  Submissions keep their identity; only the
+    clock moves.
+    """
+    if not 0 <= day_start < day_end <= trace.n_days:
+        raise ValueError(
+            f"slice days [{day_start}, {day_end}) outside trace of {trace.n_days} days"
+        )
+    from dataclasses import replace
+
+    offset = day_start * SECONDS_PER_DAY
+    end = day_end * SECONDS_PER_DAY
+    if offset == 0.0:
+        subs = [s for s in trace.submissions if s.time < end]
+    else:
+        subs = [
+            replace(s, time=s.time - offset)
+            for s in trace.submissions
+            if offset <= s.time < end
+        ]
+    return CampaignTrace(
+        seed=trace.seed,
+        n_days=day_end - day_start,
+        n_nodes=trace.n_nodes,
+        submissions=subs,
+        demand_levels=trace.demand_levels[day_start:day_end].copy(),
+    )
+
+
 def submissions_by_app(trace: CampaignTrace) -> dict[str, int]:
     """Submission counts per application (diagnostics)."""
     out: dict[str, int] = {name: 0 for name in APPLICATIONS}

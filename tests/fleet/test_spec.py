@@ -1,0 +1,154 @@
+"""FleetSpec / MemberSpec validation and round-trip behavior."""
+
+import pytest
+
+from repro.fleet.spec import PRESETS, FleetSpec, MemberSpec, preset
+
+
+def two_members():
+    return (
+        MemberSpec(name="west", n_nodes=32),
+        MemberSpec(name="east", n_nodes=64, memory_mb=64, fault_profile="mild"),
+    )
+
+
+class TestMemberValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name cannot be empty"):
+            MemberSpec(name="", n_nodes=16)
+
+    @pytest.mark.parametrize("n", [0, -4])
+    def test_nonpositive_nodes_rejected(self, n):
+        with pytest.raises(ValueError, match="n_nodes must be positive"):
+            MemberSpec(name="x", n_nodes=n)
+
+    def test_unknown_fault_profile_names_available(self):
+        with pytest.raises(ValueError, match="unknown fault profile 'bogus'") as exc:
+            MemberSpec(name="x", n_nodes=16, fault_profile="bogus")
+        assert "mild" in str(exc.value)
+
+    @pytest.mark.parametrize(
+        "field", ["memory_mb", "tlb_entries", "switch_latency_us", "switch_bandwidth_mb_s"]
+    )
+    def test_nonpositive_overrides_rejected(self, field):
+        with pytest.raises(ValueError, match=f"{field} must be positive"):
+            MemberSpec(name="x", n_nodes=16, **{field: 0})
+
+    def test_default_member_uses_reference_machine(self):
+        m = MemberSpec(name="x", n_nodes=16)
+        assert m.machine_config() is None
+        assert m.switch_config() is None
+        assert m.fault_profile_obj() is None
+
+    def test_overrides_produce_configs(self):
+        m = MemberSpec(
+            name="x",
+            n_nodes=16,
+            memory_mb=64,
+            tlb_entries=1024,
+            switch_latency_us=30.0,
+            switch_bandwidth_mb_s=68.0,
+        )
+        cfg = m.machine_config()
+        assert cfg.memory_bytes == 64 * 1024 * 1024
+        assert cfg.tlb.entries == 1024
+        sw = m.switch_config()
+        assert sw.latency_seconds == pytest.approx(30e-6)
+        assert sw.bandwidth_bytes_per_s == pytest.approx(68e6)
+
+
+class TestFleetValidation:
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError, match="at least one member"):
+            FleetSpec(members=())
+
+    def test_duplicate_member_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate member names: west"):
+            FleetSpec(
+                members=(
+                    MemberSpec(name="west", n_nodes=16),
+                    MemberSpec(name="west", n_nodes=32),
+                )
+            )
+
+    @pytest.mark.parametrize("field", ["n_days", "n_users"])
+    def test_nonpositive_scalars_rejected(self, field):
+        with pytest.raises(ValueError, match=f"{field} must be positive"):
+            FleetSpec(members=two_members(), **{field: 0})
+
+    def test_unknown_routing_rejected(self):
+        with pytest.raises(ValueError, match="unknown routing policy 'random'") as exc:
+            FleetSpec(members=two_members(), routing="random")
+        assert "least-loaded" in str(exc.value)
+
+    def test_nonpositive_demand_mean_rejected(self):
+        with pytest.raises(ValueError, match="demand_mean must be positive"):
+            FleetSpec(members=two_members(), demand_mean=0.0)
+
+    def test_total_nodes_and_member_lookup(self):
+        spec = FleetSpec(members=two_members())
+        assert spec.total_nodes == 96
+        assert spec.member("east").memory_mb == 64
+        with pytest.raises(KeyError):
+            spec.member("nowhere")
+
+
+class TestMemberConfig:
+    def test_member_inherits_fleet_scalars(self):
+        spec = FleetSpec(members=two_members(), seed=9, n_days=7, n_users=11)
+        cfg = spec.member_config(spec.member("east"))
+        assert cfg.seed == 9
+        assert cfg.n_days == 7
+        assert cfg.n_users == 11
+        assert cfg.n_nodes == 64
+        assert cfg.machine_config.memory_bytes == 64 * 1024 * 1024
+        assert cfg.fault_profile is not None and not cfg.fault_profile.is_null
+
+    def test_plain_member_config_matches_single_machine_defaults(self):
+        spec = FleetSpec(members=(MemberSpec(name="solo", n_nodes=144),), seed=2)
+        cfg = spec.member_config(spec.members[0])
+        assert cfg.machine_config is None
+        assert cfg.switch_config is None
+        assert cfg.fault_profile is None
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        spec = FleetSpec(
+            members=two_members(), name="pair", seed=4, n_days=9, routing="round-robin"
+        )
+        assert FleetSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_fleet_key_rejected(self):
+        data = FleetSpec(members=two_members()).to_dict()
+        data["colour"] = "red"
+        with pytest.raises(ValueError, match="unknown fleet spec keys: colour"):
+            FleetSpec.from_dict(data)
+
+    def test_unknown_member_key_rejected(self):
+        data = FleetSpec(members=two_members()).to_dict()
+        data["members"][0]["gpu_count"] = 8
+        with pytest.raises(ValueError, match="unknown member spec keys: gpu_count"):
+            FleetSpec.from_dict(data)
+
+    def test_missing_members_rejected(self):
+        with pytest.raises(ValueError, match="non-empty 'members'"):
+            FleetSpec.from_dict({"name": "empty"})
+
+
+class TestPresets:
+    def test_presets_are_valid_and_heterogeneous(self):
+        for name, spec in PRESETS.items():
+            assert preset(name) == spec
+            assert len(spec.members) >= 2
+        demo3 = preset("demo3")
+        assert {m.n_nodes for m in demo3.members} == {64, 144, 256}
+        assert {m.fault_profile for m in demo3.members} == {
+            "mild",
+            "none",
+            "pathological",
+        }
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown fleet preset"):
+            preset("demo99")

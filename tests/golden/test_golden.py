@@ -56,3 +56,20 @@ class TestHeadlines:
 class TestOpsDigest:
     def test_campaign_digest(self, default_month, golden):
         golden.check("ops_digest.txt", campaign_ops_digest(default_month) + "\n")
+
+
+class TestFleet:
+    def test_fleet_json_block(self, golden):
+        """The ``sp2-fleet run --json`` document for the demo2 preset at
+        the default seed — pins the fleet routing, the per-center
+        campaigns and the analysis reduction in one artifact."""
+        import json
+
+        from repro.fleet import fleet_summary, preset, run_fleet
+
+        spec = preset("demo2")
+        fleet = run_fleet(spec)
+        document = {"spec": spec.to_dict(), **fleet_summary(fleet)}
+        golden.check(
+            "fleet_demo2.json", json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
