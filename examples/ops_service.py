@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""The telemetry service: campaigns as things you ask questions of.
+
+``examples/live_ops.py`` shows the operator view after a campaign; this
+example runs the *service* form of the same machinery: a campaign
+ingested live into a :class:`~repro.ops.CampaignHub`, served over TCP
+by :class:`~repro.ops.OpsServer`, and interrogated by a client speaking
+the newline-delimited JSON protocol — catalog, metric windows, alert
+subscriptions (server pushes), job rollups, and a per-job performance
+report. Everything runs in one process here; ``sp2-ops serve`` /
+``sp2-ops ask`` do the same across processes.
+
+Run::
+
+    python examples/ops_service.py [seed] [days]
+"""
+
+import asyncio
+import sys
+
+from repro.core.study import StudyConfig
+from repro.faults.profile import FaultProfile
+from repro.ops import CampaignHub, OpsClient, OpsServer, ingest_study
+
+
+async def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    days = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+
+    hub = CampaignHub()
+    server = await OpsServer.start(hub)
+    print(f"service up on 127.0.0.1:{server.port}")
+
+    # Subscribe *before* the campaign runs: alerts arrive as pushes
+    # while the simulation is still going.
+    watcher = await OpsClient.connect("127.0.0.1", server.port)
+    await watcher.request("subscribe", campaign="*")
+
+    print(f"ingesting a {days}-day campaign (seed {seed}, pathological faults)...")
+    config = StudyConfig(
+        seed=seed,
+        n_days=days,
+        n_nodes=16,
+        n_users=8,
+        fault_profile=FaultProfile.named("pathological"),
+    )
+    await ingest_study(hub, "prod", config, trace=True)
+
+    pushed = []
+    try:
+        while True:
+            pushed.append(await watcher.next_push(0.5))
+    except TimeoutError:
+        pass
+    print(f"\n{len(pushed)} alerts pushed live; first few:")
+    for push in pushed[:3]:
+        alert = push["alert"]
+        print(f"  [{alert['severity']:>8s}] {alert['rule']:<12s} {alert['message']}")
+
+    async with await OpsClient.connect("127.0.0.1", server.port) as client:
+        catalog = await client.request("catalog")
+        entry = catalog["campaigns"][0]
+        print(
+            f"\ncatalog: campaign {entry['name']!r} is {entry['status']} — "
+            f"{entry['jobs_finished']} jobs, {entry['events_fed']} events fed"
+        )
+
+        query = await client.request(
+            "query", campaign="prod", metric="gflops.system", last=4, points=True
+        )
+        print(
+            f"gflops.system: {query['count']} points, "
+            f"p50 {query['quantiles']['p50']:.3f}, last window {query['values']}"
+        )
+
+        jobs = await client.request("jobs", campaign="prod", limit=3)
+        print(f"\nlast {len(jobs['jobs'])} of {jobs['finished']} finished jobs:")
+        for job in jobs["jobs"]:
+            print(
+                f"  job {job['job_id']:>3d}  {job['app']:<16s} "
+                f"{job['total_mflops']:8.1f} Mflops on {job['nodes']} nodes"
+            )
+
+        report = await client.request(
+            "report", campaign="prod", job=jobs["jobs"][0]["job_id"]
+        )
+        print()
+        print(report["report"])
+
+        ack = await client.request("shutdown")
+        assert ack["stopping"] is True
+
+    await watcher.close()
+    await server.serve_until_shutdown()
+    print("service stopped cleanly.")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

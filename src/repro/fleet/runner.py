@@ -21,6 +21,7 @@ runner's:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.study import StudyDataset, WorkloadStudy
 from repro.fleet.routing import FleetTrace, generate_fleet_trace
@@ -67,6 +68,7 @@ def run_fleet(
     *,
     workers: int | None = None,
     shard_days: int | None = None,
+    member_hook: Callable[[MemberSpec, WorkloadStudy], None] | None = None,
 ) -> FleetDataset:
     """Run the whole fleet campaign and return the per-member datasets.
 
@@ -74,7 +76,20 @@ def run_fleet(
     through the sharded runner on its routed trace (split into day-range
     shards); member output depends on the shard plan but never on the
     worker count, exactly like single-machine campaigns.
+
+    ``member_hook`` is called with ``(member_spec, study)`` after each
+    serial member study is wired but before it runs — the seam the ops
+    service uses to tap member buses for live federation (taps only
+    subscribe extra consumers, so hooked runs stay byte-identical).
+    Sharded member campaigns have no live bus to tap; the hook is
+    rejected there rather than silently skipped.
     """
+    if member_hook is not None and (workers is not None or shard_days is not None):
+        raise ValueError(
+            "member_hook requires the serial member path (sharded member "
+            "campaigns replay telemetry at merge time; stream the merged "
+            "dataset instead)"
+        )
     trace = generate_fleet_trace(spec)
     sharded = workers is not None or shard_days is not None
     results: list[MemberResult] = []
@@ -98,6 +113,8 @@ def run_fleet(
             )
             study = WorkloadStudy(config, fault_streams=fault_streams)
             study.sim.label = f"fleet:{member.name}"
+            if member_hook is not None:
+                member_hook(member, study)
             dataset = study.run(member_trace)
         results.append(MemberResult(spec=member, dataset=dataset))
     return FleetDataset(spec=spec, trace=trace, members=results)

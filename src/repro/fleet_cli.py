@@ -85,6 +85,16 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(json.dumps(document, indent=2, sort_keys=True))
     else:
         print(render_fleet_report(document))
+    # Exit-code convention (CONTRIBUTING.md): a campaign that measured
+    # nothing is an operational failure, not a success — outputs above
+    # are still written so the empty run can be inspected.
+    total_jobs = sum(len(m.dataset.accounting) for m in fleet.members)
+    if total_jobs == 0:
+        print(
+            "error: fleet campaign finished zero jobs — nothing was measured",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -1,0 +1,104 @@
+"""A small asyncio client for the ops service.
+
+Used by ``sp2-ops ask``, the load-test harness, and the service tests.
+A background reader task routes incoming frames: ``push``-keyed frames
+(alert subscriptions) land on a push queue, everything else answers the
+oldest outstanding request — the server answers in request order per
+connection, so a FIFO of response futures is the whole demultiplexer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any
+
+from repro.ops.protocol import ProtocolError, encode_message, read_message
+
+
+class OpsServiceError(Exception):
+    """An ``ok: false`` response, surfaced with its protocol code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+class OpsClient:
+    """One connection; use ``async with await OpsClient.connect(...)``."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: deque[asyncio.Future] = deque()
+        self.pushes: asyncio.Queue = asyncio.Queue()
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "OpsClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "OpsClient":
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await read_message(self._reader)
+                if frame is None:
+                    break
+                if "push" in frame:
+                    self.pushes.put_nowait(frame)
+                elif self._pending:
+                    self._pending.popleft().set_result(frame)
+                # An unsolicited non-push frame is dropped: nothing to
+                # pair it with, and dying here would mask the real bug.
+        except (ProtocolError, ConnectionResetError) as exc:
+            self._fail_pending(exc)
+            return
+        self._fail_pending(ConnectionError("server closed the connection"))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        while self._pending:
+            fut = self._pending.popleft()
+            if not fut.done():
+                fut.set_exception(exc)
+
+    async def request(self, op: str, **operands: Any) -> dict[str, Any]:
+        """Send one request and await its response; raises
+        :class:`OpsServiceError` on an ``ok: false`` reply."""
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending.append(fut)
+        self._writer.write(encode_message({"op": op, **operands}))
+        await self._writer.drain()
+        response = await fut
+        if not response.get("ok", False):
+            raise OpsServiceError(
+                response.get("error", "server-error"),
+                response.get("message", "(no message)"),
+            )
+        return response
+
+    async def next_push(self, timeout: float | None = None) -> dict[str, Any]:
+        """The next server-push frame (an alert), FIFO."""
+        if timeout is None:
+            return await self.pushes.get()
+        return await asyncio.wait_for(self.pushes.get(), timeout)
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

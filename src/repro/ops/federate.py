@@ -1,0 +1,130 @@
+"""Fleet telemetry federation: one metric namespace across members.
+
+PR 6 left federation as an open item: each fleet member ran its own
+telemetry service and there was no merged operator view.  This module
+defines the merged namespace the ops service serves:
+
+* ``fleet.<member>.<metric>`` — one member's series, verbatim;
+* ``fleet.<metric>`` — the fleet-level rollup, merged across members.
+
+Rollups align member series on their timestamps (members sample on the
+same 15-minute cadence, so points line up except across collector-gap
+faults): *capacity* metrics (system Gflops, reporting nodes, active
+jobs) add across centers, while *per-node* rates (Mflops/node, miss
+rates, ratios) take the node-count-weighted mean — the same convention
+XDMoD uses when it rolls per-center utilization into an NSF-wide
+number.  At a timestamp only some members reported, the rollup uses the
+members that did.
+
+Everything here is a pure function of immutable series snapshots, so
+federated reads inherit the store's snapshot-isolation guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.telemetry.store import DEFAULT_EWMA_ALPHA, SeriesSnapshot
+
+#: Prefix of every federated metric name.
+FLEET_PREFIX = "fleet."
+
+#: Metrics that add across centers; everything else federates as the
+#: node-count-weighted mean (per-node rates and ratios).
+SUM_METRICS = frozenset({"gflops.system", "nodes.reporting", "jobs.active"})
+
+#: Quantiles reported by federated rollups (mirrors the store sketches).
+ROLLUP_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def member_metric(member: str, metric: str) -> str:
+    """The federated name of one member's series."""
+    return f"{FLEET_PREFIX}{member}.{metric}"
+
+
+def rollup_metric(metric: str) -> str:
+    """The federated name of the fleet-level rollup."""
+    return f"{FLEET_PREFIX}{metric}"
+
+
+def parse_fleet_metric(name: str, members: tuple[str, ...]) -> tuple[str | None, str] | None:
+    """Split a federated name into ``(member, metric)``.
+
+    ``fleet.<member>.<metric>`` yields ``(member, metric)`` when the
+    member exists; ``fleet.<metric>`` yields ``(None, metric)`` (a
+    rollup).  Anything else — including a bare single-campaign metric
+    name — yields ``None``.
+    """
+    if not name.startswith(FLEET_PREFIX):
+        return None
+    rest = name[len(FLEET_PREFIX):]
+    head, sep, tail = rest.partition(".")
+    if sep and head in members:
+        return head, tail
+    return None, rest
+
+
+def federated_names(members: tuple[str, ...], metrics: list[str]) -> list[str]:
+    """Every name the federated namespace serves, sorted."""
+    names = [rollup_metric(m) for m in metrics]
+    names += [member_metric(mem, m) for mem in members for m in metrics]
+    return sorted(names)
+
+
+def federate_series(
+    metric: str,
+    member_series: dict[str, SeriesSnapshot],
+    node_weights: dict[str, int],
+) -> SeriesSnapshot:
+    """Merge member snapshots of one metric into the fleet rollup.
+
+    The result is a synthetic :class:`SeriesSnapshot` named
+    ``fleet.<metric>``: raw points are the aligned merge, and because
+    the merged window is fully materialized its summary statistics are
+    exact (``np.percentile``) rather than P² estimates — the member
+    sketches cannot be combined, so recomputing from the merge is both
+    simpler and more accurate.  ``dropped`` sums the member rings'
+    evictions: a federated window is only as complete as its inputs.
+    """
+    series = {m: s for m, s in member_series.items() if s is not None and s.size}
+    if not series:
+        return SeriesSnapshot(
+            name=rollup_metric(metric),
+            count=0,
+            dropped=sum(s.dropped for s in member_series.values() if s is not None),
+            ewma=0.0,
+            min=0.0,
+            max=0.0,
+            quantiles={q: 0.0 for q in ROLLUP_QUANTILES},
+            times=np.empty(0),
+            values=np.empty(0),
+        )
+    times = np.unique(np.concatenate([s.times for s in series.values()]))
+    acc = np.zeros(len(times))
+    weight = np.zeros(len(times))
+    additive = metric in SUM_METRICS
+    for member in sorted(series):
+        snap = series[member]
+        idx = np.searchsorted(times, snap.times)
+        w = 1.0 if additive else float(max(node_weights.get(member, 1), 1))
+        acc[idx] += snap.values if additive else snap.values * w
+        weight[idx] += w
+    values = acc if additive else acc / np.maximum(weight, 1e-300)
+
+    ewma = 0.0
+    for i, v in enumerate(values):
+        v = float(v)
+        ewma = v if i == 0 else DEFAULT_EWMA_ALPHA * v + (1 - DEFAULT_EWMA_ALPHA) * ewma
+    return SeriesSnapshot(
+        name=rollup_metric(metric),
+        count=len(values),
+        dropped=sum(s.dropped for s in member_series.values() if s is not None),
+        ewma=ewma,
+        min=float(values.min()),
+        max=float(values.max()),
+        quantiles={
+            q: float(np.percentile(values, q * 100.0)) for q in ROLLUP_QUANTILES
+        },
+        times=times,
+        values=values,
+    )

@@ -6,24 +6,40 @@ what an operator console would have shown *while it ran*: the rolling
 15-minute feed, the fired alerts, campaign-wide metric statistics, and
 the finished-job rollups.
 
+Since PR 7 it is also the *service*: ``sp2-ops serve`` keeps campaigns
+resident in a :mod:`repro.ops` hub behind a TCP query API, ``sp2-ops
+ask`` is the line client, and ``sp2-ops report`` renders one job's
+performance page.
+
 Examples::
 
     sp2-ops alerts --days 30 --seed 1          # what fired, when
     sp2-ops tail   --days 3  --seed 1          # the live feed, alerts inline
     sp2-ops query  --metric tlb.miss_rate --days 30 --plot
     sp2-ops jobs   --days 30 --top 10
+    sp2-ops report --job 17 --days 30 --trace  # one job's performance page
+    sp2-ops serve  --days 30 --port 7571       # campaign behind the query API
+    sp2-ops ask query --port 7571 --campaign campaign --metric gflops.system
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 import time
 
-from repro.core.study import StudyDataset, run_study
+from repro.core.study import StudyConfig, StudyDataset, WorkloadStudy, run_study
 from repro.telemetry.rules import render_alert, render_alerts
 from repro.telemetry.service import METRIC_CATALOG, TelemetryService
 from repro.workload.traces import SECONDS_PER_DAY
+
+#: Exit-code convention shared by every sp2-* CLI (CONTRIBUTING.md):
+#: 0 = success, 1 = operational failure (ran but measured/served
+#: nothing, or the service died), 2 = usage error (bad arguments,
+#: unknown names).
+EXIT_OK, EXIT_OPERATIONAL, EXIT_USAGE = 0, 1, 2
 
 
 def _fmt_time(t: float) -> str:
@@ -95,21 +111,28 @@ def _telemetry(dataset: StudyDataset) -> TelemetryService:
     return TelemetryService.replay(dataset.collector.samples, dataset.accounting.records)
 
 
+def _no_samples(dataset: StudyDataset) -> bool:
+    """A campaign with zero samples watched nothing: exiting 0 would let
+    a broken collector read as "all healthy" (exit-code convention:
+    operational failure, 1)."""
+    if len(dataset.collector.samples) > 0:
+        return False
+    print(
+        "error: campaign produced zero collector samples — nothing was "
+        "monitored (check --days / the collector cadence)",
+        file=sys.stderr,
+    )
+    return True
+
+
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
 
 def cmd_alerts(dataset: StudyDataset, args: argparse.Namespace) -> int:
     t = _telemetry(dataset)
-    if len(dataset.collector.samples) == 0:
-        # A campaign with zero samples watched nothing: exiting 0 would
-        # let a broken collector read as "no alerts, all healthy".
-        print(
-            "error: campaign produced zero collector samples — nothing was "
-            "monitored (check --days / the collector cadence)",
-            file=sys.stderr,
-        )
-        return 1
+    if _no_samples(dataset):
+        return EXIT_OPERATIONAL
     alerts = t.alerts
     if args.rule:
         # "fault" alerts come straight from the injector, not from an
@@ -120,7 +143,7 @@ def cmd_alerts(dataset: StudyDataset, args: argparse.Namespace) -> int:
                 f"unknown rule {args.rule!r}; available: {', '.join(sorted(known))}",
                 file=sys.stderr,
             )
-            return 2
+            return EXIT_USAGE
         alerts = [a for a in alerts if a.rule == args.rule]
     print(render_alerts(alerts))
     by_rule = ", ".join(f"{k}={v}" for k, v in sorted(t.alert_counts().items()))
@@ -129,11 +152,23 @@ def cmd_alerts(dataset: StudyDataset, args: argparse.Namespace) -> int:
         f"({by_rule or 'none'}), {t.engine.suppressed} suppressed by cooldown, "
         f"{t.intervals_seen} intervals watched"
     )
-    return 0
+    return EXIT_OK
+
+
+#: Series rendered by ``tail`` (one column each).
+TAIL_SERIES = (
+    "gflops.system",
+    "fxu.sys_user_ratio",
+    "tlb.miss_rate",
+    "nodes.reporting",
+    "jobs.active",
+)
 
 
 def cmd_tail(dataset: StudyDataset, args: argparse.Namespace) -> int:
     t = _telemetry(dataset)
+    if _no_samples(dataset):
+        return EXIT_OPERATIONAL
     times, gflops = t.store.window("gflops.system")
     _, ratio = t.store.window("fxu.sys_user_ratio")
     _, tlb = t.store.window("tlb.miss_rate")
@@ -164,20 +199,28 @@ def cmd_tail(dataset: StudyDataset, args: argparse.Namespace) -> int:
     while pending is not None:
         print("! " + render_alert(pending))
         pending = next(alerts, None)
-    dropped = t.store.series("gflops.system").dropped
+    # The ring caps every displayed series identically, but report the
+    # worst case rather than trusting that: a silently truncated feed is
+    # the one thing an operator console must never show as complete.
+    dropped = max(
+        (t.store.series(name).dropped for name in TAIL_SERIES if name in t.store),
+        default=0,
+    )
     note = f" (ring evicted {dropped} older samples)" if dropped else ""
     print(f"-- {shown} of {t.intervals_seen} intervals shown{note}")
-    return 0
+    return EXIT_OK
 
 
 def cmd_query(dataset: StudyDataset, args: argparse.Namespace) -> int:
     t = _telemetry(dataset)
+    if _no_samples(dataset):
+        return EXIT_OPERATIONAL
     if args.metric not in t.store.names():
         known = "\n  ".join(
             f"{name:<22s} {METRIC_CATALOG.get(name, '')}" for name in t.store.names()
         )
         print(f"unknown metric {args.metric!r}; available:\n  {known}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     t0 = args.day_from * SECONDS_PER_DAY if args.day_from is not None else None
     t1 = (args.day_to + 1) * SECONDS_PER_DAY if args.day_to is not None else None
     s = t.store.summary(args.metric)
@@ -188,16 +231,24 @@ def cmd_query(dataset: StudyDataset, args: argparse.Namespace) -> int:
     print(f"range    : min {s.min:.4g}   max {s.max:.4g}")
     qtext = "   ".join(f"p{int(p * 100):d} {v:.4g}" for p, v in sorted(s.quantiles.items()))
     print(f"quantiles: {qtext}  (P² streaming estimates)")
+    if s.dropped:
+        print(
+            f"warning  : ring evicted {s.dropped} older points — the window "
+            "covers the retained tail only (aggregates still span the "
+            "full campaign)"
+        )
     if args.plot and len(values):
         from repro.util.asciiplot import ascii_series
 
         print()
         print(ascii_series(values, title=f"{args.metric} over the window"))
-    return 0
+    return EXIT_OK
 
 
 def cmd_jobs(dataset: StudyDataset, args: argparse.Namespace) -> int:
     t = _telemetry(dataset)
+    if _no_samples(dataset):
+        return EXIT_OPERATIONAL
     rollups = t.rollups.for_user(args.user) if args.user is not None else list(
         t.rollups.finished
     )
@@ -220,7 +271,258 @@ def cmd_jobs(dataset: StudyDataset, args: argparse.Namespace) -> int:
         f"-- {len(shown)} of {len(t.rollups)} finished jobs shown, "
         f"{len(t.rollups.active)} still active, {len(suspects)} paging suspect(s)"
     )
-    return 0
+    return EXIT_OK
+
+
+# ----------------------------------------------------------------------
+# The service verbs (PR 7): serve / report / ask
+# ----------------------------------------------------------------------
+
+def _study_config(args: argparse.Namespace) -> StudyConfig:
+    profile = None
+    if args.fault_profile:
+        from repro.faults.profile import FaultProfile
+
+        profile = FaultProfile.named(args.fault_profile)
+        if profile.is_null:
+            profile = None
+    return StudyConfig(
+        seed=args.seed,
+        n_days=args.days,
+        n_nodes=args.nodes,
+        n_users=args.users,
+        fault_profile=profile,
+    )
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """One job's performance page, from a replayed campaign."""
+    from repro.ops import CampaignHub, UnknownJob
+    from repro.ops.ingest import replay_into_hub
+    from repro.tracing.tracer import Tracer
+
+    if args.trace and (args.workers or args.shard_days):
+        print(
+            "error: --trace needs the serial runner (drop --workers/--shard-days)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if args.workers or args.shard_days:
+        dataset = run_campaign(args)
+    else:
+        t0 = time.time()
+        print(
+            f"Replaying {args.days}-day campaign on {args.nodes} nodes "
+            f"(seed {args.seed}{', traced' if args.trace else ''})...",
+            file=sys.stderr,
+        )
+        tracer = Tracer() if args.trace else None
+        dataset = WorkloadStudy(_study_config(args), tracer=tracer).run()
+        print(f"Replay done in {time.time() - t0:.1f}s.", file=sys.stderr)
+    if len(dataset.accounting) == 0:
+        print(
+            "error: campaign finished zero jobs — nothing to report on",
+            file=sys.stderr,
+        )
+        return EXIT_OPERATIONAL
+
+    hub = CampaignHub()
+    hub.register("campaign", kind="single")
+    replay_into_hub(hub, "campaign", dataset)
+    try:
+        print(hub.job_report("campaign", args.job))
+    except UnknownJob as exc:
+        ids = sorted(r.job_id for r in dataset.accounting.records)
+        span = f"{ids[0]}..{ids[-1]}" if ids else "(none)"
+        print(f"error: {exc} — finished job ids: {span}", file=sys.stderr)
+        return EXIT_USAGE
+    return EXIT_OK
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    try:
+        return asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        print("sp2-ops serve: interrupted", file=sys.stderr)
+        return EXIT_OPERATIONAL
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.ops import CampaignHub, OpsServer, ingest_fleet, ingest_study
+    from repro.ops.ingest import replay_into_hub
+
+    if args.fleet is not None:
+        from repro.fleet.spec import PRESETS
+
+        if args.fleet not in PRESETS:
+            print(
+                f"error: unknown fleet preset {args.fleet!r}; "
+                f"available: {', '.join(sorted(PRESETS))}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+
+    hub = CampaignHub(
+        max_campaigns=args.max_campaigns,
+        store_capacity=args.store_capacity,
+        max_series=args.max_series,
+    )
+    server = await OpsServer.start(hub, host=args.host, port=args.port)
+    print(
+        f"sp2-ops service listening on {args.host}:{server.port}", file=sys.stderr
+    )
+    if args.port_file is not None:
+        # Written after bind: waiting on this file is the race-free way
+        # for scripts (and the CI smoke) to learn the ephemeral port.
+        pathlib.Path(args.port_file).write_text(f"{server.port}\n")
+
+    t0 = time.time()
+    if args.fleet is not None:
+        from repro.fleet.spec import PRESETS
+
+        fleet = await ingest_fleet(
+            hub,
+            args.name,
+            PRESETS[args.fleet],
+            workers=args.workers,
+            shard_days=args.shard_days,
+        )
+        jobs = sum(len(m.dataset.accounting) for m in fleet.members)
+        if args.json is not None:
+            from repro.fleet.analysis import fleet_summary
+
+            document = {"spec": PRESETS[args.fleet].to_dict(), **fleet_summary(fleet)}
+            args.json.parent.mkdir(parents=True, exist_ok=True)
+            args.json.write_text(
+                json.dumps(document, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"wrote {args.json}", file=sys.stderr)
+    elif args.workers or args.shard_days:
+        # The sharded runner has no live bus; run it out, then replay
+        # through the canonical ordering — same end state.
+        dataset = await asyncio.to_thread(run_campaign, args)
+        hub.register(args.name, kind="single", meta={"seed": args.seed})
+        replay_into_hub(hub, args.name, dataset)
+        hub.complete(args.name, {"jobs": len(dataset.accounting)})
+        jobs = len(dataset.accounting)
+        _write_dataset_json(args, dataset)
+    else:
+        dataset = await ingest_study(
+            hub, args.name, _study_config(args), trace=args.trace
+        )
+        jobs = len(dataset.accounting)
+        _write_dataset_json(args, dataset)
+    print(
+        f"campaign {args.name!r} resident after {time.time() - t0:.1f}s "
+        f"({jobs} jobs); serving until a shutdown op arrives.",
+        file=sys.stderr,
+    )
+    if jobs == 0:
+        print("error: campaign finished zero jobs", file=sys.stderr)
+        await server.close()
+        return EXIT_OPERATIONAL
+    await server.serve_until_shutdown()
+    print("sp2-ops service: clean shutdown.", file=sys.stderr)
+    return EXIT_OK
+
+
+def _write_dataset_json(args: argparse.Namespace, dataset: StudyDataset) -> None:
+    if args.json is None:
+        return
+    # Byte-identical to a detached ``sp2-study --json`` of the same
+    # campaign: the ingest tap is a pure bus subscriber (CI diffs them).
+    from repro.analysis.export import dataset_to_json
+
+    args.json.parent.mkdir(parents=True, exist_ok=True)
+    args.json.write_text(dataset_to_json(dataset))
+    print(f"wrote {args.json}", file=sys.stderr)
+
+
+#: ask exit codes: a refused/failed request is usage (2) when the server
+#: understood and rejected it, operational (1) when the service itself
+#: is unreachable or broke.
+_ASK_USAGE_ERRORS = frozenset(
+    {"bad-request", "unknown-op", "unknown-campaign", "unknown-metric", "unknown-job"}
+)
+
+
+def _resolve_port(args: argparse.Namespace) -> int | None:
+    if args.port is not None:
+        return args.port
+    if args.port_file is not None:
+        try:
+            return int(pathlib.Path(args.port_file).read_text().strip())
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read port from {args.port_file}: {exc}", file=sys.stderr)
+            return None
+    print("error: ask needs --port or --port-file", file=sys.stderr)
+    return None
+
+
+def cmd_ask(args: argparse.Namespace) -> int:
+    import asyncio
+
+    port = _resolve_port(args)
+    if port is None:
+        return EXIT_USAGE
+    return asyncio.run(_ask(args, port))
+
+
+async def _ask(args: argparse.Namespace, port: int) -> int:
+    import asyncio
+
+    from repro.ops import OpsClient, OpsServiceError
+
+    operands = {
+        key: value
+        for key, value in (
+            ("campaign", args.campaign),
+            ("metric", args.metric),
+            ("job", args.job),
+            ("member", args.member),
+            ("since", args.since),
+            ("limit", args.limit),
+            ("last", args.last),
+            ("points", args.points or None),
+        )
+        if value is not None
+    }
+    try:
+        client = await OpsClient.connect(args.host, port)
+    except OSError as exc:
+        print(f"error: cannot reach {args.host}:{port}: {exc}", file=sys.stderr)
+        return EXIT_OPERATIONAL
+    async with client:
+        try:
+            response = await asyncio.wait_for(
+                client.request(args.op, **operands), args.timeout
+            )
+        except OpsServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE if exc.code in _ASK_USAGE_ERRORS else EXIT_OPERATIONAL
+        except (asyncio.TimeoutError, ConnectionError) as exc:
+            print(f"error: service did not answer: {exc!r}", file=sys.stderr)
+            return EXIT_OPERATIONAL
+        if args.op == "report":
+            print(response["report"])
+        else:
+            print(json.dumps(response, indent=2, sort_keys=True))
+        if args.op == "subscribe" and args.watch:
+            for _ in range(args.watch):
+                try:
+                    push = await client.next_push(args.timeout)
+                except asyncio.TimeoutError:
+                    print(
+                        f"error: no alert push within {args.timeout:.0f}s",
+                        file=sys.stderr,
+                    )
+                    return EXIT_OPERATIONAL
+                print(json.dumps(push, indent=2, sort_keys=True))
+    return EXIT_OK
 
 
 # ----------------------------------------------------------------------
@@ -259,13 +561,114 @@ def build_parser() -> argparse.ArgumentParser:
     p_jobs.add_argument("--top", type=int, default=15, help="show the top N by Mflops (0 = all)")
     p_jobs.add_argument("--user", type=int, default=None, help="only this user's jobs")
     p_jobs.set_defaults(func=cmd_jobs)
+
+    p_report = sub.add_parser(
+        "report", help="one finished job's performance page (MPCDF-style)"
+    )
+    add_campaign_args(p_report)
+    p_report.add_argument("--job", type=int, required=True, help="finished job id")
+    p_report.add_argument(
+        "--trace",
+        action="store_true",
+        help="run traced to attribute wall time across phases",
+    )
+    p_report.set_defaults(func=cmd_report, standalone=True)
+
+    p_serve = sub.add_parser(
+        "serve", help="run a campaign into the resident hub and serve the query API"
+    )
+    add_campaign_args(p_serve)
+    p_serve.add_argument("--name", default="campaign", help="campaign name in the hub")
+    p_serve.add_argument(
+        "--fleet",
+        default=None,
+        metavar="PRESET",
+        help="serve a fleet preset (federated fleet.* metrics) instead of "
+        "a single campaign",
+    )
+    p_serve.add_argument(
+        "--trace", action="store_true", help="record job spans for report attribution"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument("--port", type=int, default=0, help="TCP port (0 = ephemeral)")
+    p_serve.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write the bound port here once listening (for scripts)",
+    )
+    p_serve.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="also export the campaign summary JSON (byte-identical to a "
+        "detached sp2-study --json run)",
+    )
+    p_serve.add_argument(
+        "--max-campaigns", type=_positive_int, default=8, help="resident campaign cap"
+    )
+    p_serve.add_argument(
+        "--store-capacity",
+        type=_positive_int,
+        default=None,
+        help="per-metric ring capacity",
+    )
+    p_serve.add_argument(
+        "--max-series",
+        type=_positive_int,
+        default=None,
+        help="per-store series cap (least-recently-appended eviction)",
+    )
+    p_serve.set_defaults(func=cmd_serve, standalone=True)
+
+    p_ask = sub.add_parser("ask", help="one request against a running service")
+    from repro.ops.protocol import REQUEST_OPS
+
+    p_ask.add_argument("op", choices=REQUEST_OPS, help="protocol op to send")
+    p_ask.add_argument("--host", default="127.0.0.1", help="service address")
+    p_ask.add_argument("--port", type=int, default=None, help="service port")
+    p_ask.add_argument(
+        "--port-file", default=None, metavar="PATH", help="read the port from this file"
+    )
+    p_ask.add_argument("--campaign", default=None, help="campaign name")
+    p_ask.add_argument("--metric", default=None, help="metric name (query)")
+    p_ask.add_argument("--job", type=int, default=None, help="job id (report)")
+    p_ask.add_argument("--member", default=None, help="fleet member (jobs/report)")
+    p_ask.add_argument("--since", type=int, default=None, help="alert cursor (alerts)")
+    p_ask.add_argument("--limit", type=int, default=None, help="row cap (jobs)")
+    p_ask.add_argument("--last", type=int, default=None, help="last N points (query)")
+    p_ask.add_argument(
+        "--points", action="store_true", help="include raw points (query)"
+    )
+    p_ask.add_argument(
+        "--watch",
+        type=int,
+        default=0,
+        metavar="N",
+        help="after subscribe, print N alert pushes before exiting",
+    )
+    p_ask.add_argument(
+        "--timeout", type=float, default=30.0, help="per-request timeout seconds"
+    )
+    p_ask.set_defaults(func=cmd_ask, standalone=True)
     return p
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    dataset = run_campaign(args)
-    return args.func(dataset, args)
+    try:
+        if getattr(args, "standalone", False):
+            # serve/report/ask drive their own campaign (or none at all).
+            return args.func(args)
+        dataset = run_campaign(args)
+        return args.func(dataset, args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (| head, | grep -q): not our error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -34,7 +34,13 @@ from repro.telemetry.rules import (
 )
 from repro.telemetry.service import METRIC_CATALOG, TelemetryService
 from repro.telemetry.sketch import P2Quantile, QuantileSet
-from repro.telemetry.store import MetricSeries, MetricStore, MetricSummary
+from repro.telemetry.store import (
+    MetricSeries,
+    MetricStore,
+    MetricSummary,
+    SeriesSnapshot,
+    StoreSnapshot,
+)
 
 __all__ = [
     "Alert",
@@ -57,6 +63,8 @@ __all__ = [
     "RollupTable",
     "Rule",
     "SampleTaken",
+    "SeriesSnapshot",
+    "StoreSnapshot",
     "TelemetryService",
     "TlbSpikeRule",
     "TOPIC_JOB_END",

@@ -220,6 +220,10 @@ class TelemetryService:
             "alerts_suppressed": self.engine.suppressed,
             "spans_seen": self.spans_seen,
             "truncated": len(self.truncations) > 0,
+            # Ring evictions across every metric series.  0 is a
+            # statement ("every served window is complete"), not noise —
+            # silent drops undermine trust in the telemetry feed.
+            "points_dropped": self.store.points_dropped,
         }
         if self.faults_seen:
             out["faults_seen"] = self.faults_seen
@@ -263,45 +267,72 @@ class TelemetryService:
         the live service produced.
         """
         service = cls()
-        span_list = list(spans)
-        truncation_list = list(truncations)
-        fault_list = sorted(faults, key=lambda f: f.time)
-        recs = list(records)
-        starts = sorted(recs, key=lambda r: (r.start_time, r.job_id))
-        ends = sorted(recs, key=lambda r: (r.end_time, r.job_id))
-        si = ei = fi = 0
-        for sample in samples:
-            while fi < len(fault_list) and fault_list[fi].time <= sample.time:
-                fe = fault_list[fi]
-                service.bus.publish(TOPIC_FAULT, FaultInjected(time=fe.time, event=fe))
-                fi += 1
-            while ei < len(ends) and ends[ei].end_time <= sample.time:
-                rec = ends[ei]
-                service.bus.publish(TOPIC_JOB_END, JobEnded(time=rec.end_time, record=rec))
-                ei += 1
-            while si < len(starts) and starts[si].start_time <= sample.time:
-                rec = starts[si]
-                service.bus.publish(
-                    TOPIC_JOB_START,
-                    JobStarted(
-                        time=rec.start_time,
-                        job_id=rec.job_id,
-                        user=rec.user,
-                        app_name=rec.app_name,
-                        nodes_requested=rec.nodes_requested,
-                        node_ids=rec.node_ids,
-                    ),
-                )
-                si += 1
-            service.bus.publish(TOPIC_SAMPLE, SampleTaken(time=sample.time, sample=sample))
-        for fe in fault_list[fi:]:
-            service.bus.publish(TOPIC_FAULT, FaultInjected(time=fe.time, event=fe))
-        for rec in ends[ei:]:
-            service.bus.publish(TOPIC_JOB_END, JobEnded(time=rec.end_time, record=rec))
-        for span in span_list:
-            service.bus.publish(
-                TOPIC_SPAN, SpanFinished(time=span.end or span.start, span=span)
-            )
-        for notice in truncation_list:
-            service.bus.publish(TOPIC_SIM_TRUNCATED, notice)
+        for topic, event in replay_events(
+            samples,
+            records,
+            spans=spans,
+            truncations=truncations,
+            faults=faults,
+        ):
+            service.bus.publish(topic, event)
         return service
+
+
+def replay_events(
+    samples: Iterable[SystemSample],
+    records: Iterable[JobRecord] = (),
+    *,
+    spans: Iterable = (),
+    truncations: Iterable[SimTruncated] = (),
+    faults: Iterable = (),
+) -> Iterable[tuple[str, object]]:
+    """The canonical replay ordering, as ``(topic, event)`` pairs.
+
+    This is the single definition of how a recorded campaign becomes an
+    event stream again: faults, job ends and job starts are interleaved
+    with the sample stream by time, then trailing records, spans and
+    truncation notices follow.  :meth:`TelemetryService.replay` publishes
+    these pairs on a fresh bus; the ops hub (:mod:`repro.ops.ingest`)
+    feeds the identical stream into its own per-campaign services, which
+    is what makes ``hub state == replay()`` a theorem rather than a
+    hope (the federation determinism tests assert it).
+    """
+    span_list = list(spans)
+    truncation_list = list(truncations)
+    fault_list = sorted(faults, key=lambda f: f.time)
+    recs = list(records)
+    starts = sorted(recs, key=lambda r: (r.start_time, r.job_id))
+    ends = sorted(recs, key=lambda r: (r.end_time, r.job_id))
+    si = ei = fi = 0
+    for sample in samples:
+        while fi < len(fault_list) and fault_list[fi].time <= sample.time:
+            fe = fault_list[fi]
+            yield TOPIC_FAULT, FaultInjected(time=fe.time, event=fe)
+            fi += 1
+        while ei < len(ends) and ends[ei].end_time <= sample.time:
+            rec = ends[ei]
+            yield TOPIC_JOB_END, JobEnded(time=rec.end_time, record=rec)
+            ei += 1
+        while si < len(starts) and starts[si].start_time <= sample.time:
+            rec = starts[si]
+            yield (
+                TOPIC_JOB_START,
+                JobStarted(
+                    time=rec.start_time,
+                    job_id=rec.job_id,
+                    user=rec.user,
+                    app_name=rec.app_name,
+                    nodes_requested=rec.nodes_requested,
+                    node_ids=rec.node_ids,
+                ),
+            )
+            si += 1
+        yield TOPIC_SAMPLE, SampleTaken(time=sample.time, sample=sample)
+    for fe in fault_list[fi:]:
+        yield TOPIC_FAULT, FaultInjected(time=fe.time, event=fe)
+    for rec in ends[ei:]:
+        yield TOPIC_JOB_END, JobEnded(time=rec.end_time, record=rec)
+    for span in span_list:
+        yield TOPIC_SPAN, SpanFinished(time=span.end or span.start, span=span)
+    for notice in truncation_list:
+        yield TOPIC_SIM_TRUNCATED, notice

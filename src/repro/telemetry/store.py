@@ -14,11 +14,25 @@ Design constraints, in order:
 
 Windowed queries return chronological ``(times, values)`` arrays over
 whatever raw points the ring still holds.
+
+The long-running service layer (:mod:`repro.ops`) adds two demands the
+one-shot CLI never had, both served here:
+
+* **snapshot isolation** — a query handler that awaits between reads
+  must see one consistent view of a series even while the ingest side
+  keeps appending.  :meth:`MetricSeries.snapshot` freezes the ring and
+  every aggregate into an immutable :class:`SeriesSnapshot`;
+  :meth:`MetricStore.snapshot` does it store-wide.
+* **bounded series count** — fleet federation multiplies the namespace
+  (``fleet.<member>.<metric>``), so a hub store accepts an optional
+  ``max_series`` cap and evicts the least-recently-appended series,
+  counting what it dropped (``series_evicted``) so served catalogs can
+  say so instead of silently forgetting.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -43,6 +57,86 @@ class MetricSummary:
     min: float
     max: float
     quantiles: dict[float, float]
+
+
+@dataclass(frozen=True)
+class SeriesSnapshot:
+    """An immutable point-in-time view of one :class:`MetricSeries`.
+
+    Holds chronological copies of the retained ring plus every streaming
+    aggregate, so a reader can mix raw-window math and campaign-wide
+    statistics without ever observing a concurrent append in between —
+    the isolation contract the asyncio query handlers rely on.
+    """
+
+    name: str
+    count: int
+    dropped: int
+    ewma: float
+    min: float
+    max: float
+    quantiles: dict[float, float]
+    times: np.ndarray = field(repr=False)
+    values: np.ndarray = field(repr=False)
+
+    @property
+    def size(self) -> int:
+        return len(self.times)
+
+    def latest(self) -> tuple[float, float] | None:
+        if not len(self.times):
+            return None
+        return float(self.times[-1]), float(self.values[-1])
+
+    def window(
+        self, t0: float | None = None, t1: float | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Chronological ``(times, values)`` with ``t0 <= t < t1``."""
+        times, values = self.times, self.values
+        if t0 is not None or t1 is not None:
+            mask = np.ones(len(times), dtype=bool)
+            if t0 is not None:
+                mask &= times >= t0
+            if t1 is not None:
+                mask &= times < t1
+            times, values = times[mask], values[mask]
+        return times, values
+
+    def summary(self) -> MetricSummary:
+        last = self.latest()
+        return MetricSummary(
+            name=self.name,
+            count=self.count,
+            dropped=self.dropped,
+            last=last[1] if last else 0.0,
+            ewma=self.ewma,
+            min=self.min if self.count else 0.0,
+            max=self.max if self.count else 0.0,
+            quantiles=dict(self.quantiles),
+        )
+
+
+@dataclass(frozen=True)
+class StoreSnapshot:
+    """Immutable view of a whole store (or a named subset of it)."""
+
+    series: dict[str, SeriesSnapshot]
+    #: Series the store evicted over its lifetime (count, not names).
+    series_evicted: int = 0
+
+    def names(self) -> list[str]:
+        return sorted(self.series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.series
+
+    def __getitem__(self, name: str) -> SeriesSnapshot:
+        return self.series[name]
+
+    @property
+    def points_dropped(self) -> int:
+        """Raw points evicted by the rings, summed over retained series."""
+        return sum(s.dropped for s in self.series.values())
 
 
 class MetricSeries:
@@ -149,32 +243,87 @@ class MetricSeries:
             quantiles=self.sketch.values(),
         )
 
+    def snapshot(self) -> SeriesSnapshot:
+        """Freeze the ring and every aggregate into an immutable view."""
+        times, values = self._ordered()
+        return SeriesSnapshot(
+            name=self.name,
+            count=self.count,
+            dropped=self.dropped,
+            ewma=self.ewma,
+            min=self.min if self.count else 0.0,
+            max=self.max if self.count else 0.0,
+            quantiles=self.sketch.values(),
+            times=times.copy(),
+            values=values.copy(),
+        )
+
 
 class MetricStore:
-    """Named metric series, created lazily on first append."""
+    """Named metric series, created lazily on first append.
+
+    ``max_series`` bounds how many series the store retains; creating
+    one past the cap evicts the least-recently-appended series (and
+    counts it in :attr:`series_evicted`).  The default (``None``) keeps
+    every series forever — the single-campaign behaviour the golden
+    files pin.
+    """
 
     def __init__(
         self,
         *,
         capacity: int = DEFAULT_CAPACITY,
         ewma_alpha: float = DEFAULT_EWMA_ALPHA,
+        max_series: int | None = None,
     ) -> None:
+        if max_series is not None and max_series <= 0:
+            raise ValueError(f"max_series must be positive, got {max_series}")
         self.capacity = capacity
         self.ewma_alpha = ewma_alpha
+        self.max_series = max_series
         self._series: dict[str, MetricSeries] = {}
+        #: Monotone append clock driving least-recently-appended eviction.
+        self._clock = 0
+        self._touched: dict[str, int] = {}
+        #: Series evicted by the ``max_series`` cap over the lifetime.
+        self.series_evicted = 0
 
     def series(self, name: str) -> MetricSeries:
         s = self._series.get(name)
         if s is None:
+            if self.max_series is not None and len(self._series) >= self.max_series:
+                coldest = min(self._touched, key=self._touched.__getitem__)
+                del self._series[coldest]
+                del self._touched[coldest]
+                self.series_evicted += 1
             s = MetricSeries(name, capacity=self.capacity, ewma_alpha=self.ewma_alpha)
             self._series[name] = s
+            self._touched[name] = self._clock
         return s
 
     def append(self, name: str, time: float, value: float) -> None:
         self.series(name).append(time, value)
+        self._clock += 1
+        self._touched[name] = self._clock
 
     def names(self) -> list[str]:
         return sorted(self._series)
+
+    def snapshot(self, names: list[str] | None = None) -> StoreSnapshot:
+        """Immutable view of every series (or just ``names``, skipping
+        unknown ones) — one consistent read for handlers that await."""
+        picked = self._series if names is None else {
+            n: self._series[n] for n in names if n in self._series
+        }
+        return StoreSnapshot(
+            series={n: s.snapshot() for n, s in picked.items()},
+            series_evicted=self.series_evicted,
+        )
+
+    @property
+    def points_dropped(self) -> int:
+        """Raw points evicted by the rings, summed over retained series."""
+        return sum(s.dropped for s in self._series.values())
 
     def __contains__(self, name: str) -> bool:
         return name in self._series

@@ -64,6 +64,15 @@ def cmd_record(args: argparse.Namespace) -> int:
     WorkloadStudy(cfg, tracer=tracer).run()
     print(f"Campaign done in {time.time() - t0:.1f}s.", file=sys.stderr)
 
+    if not tracer.spans:
+        # Exit-code convention (CONTRIBUTING.md): a recording that
+        # captured nothing is an operational failure, not a success.
+        print(
+            "error: campaign recorded zero spans — nothing to export "
+            "(check --days)",
+            file=sys.stderr,
+        )
+        return 1
     out = write_jsonl(tracer.spans, args.out)
     print(f"wrote {len(tracer.spans)} spans to {out}")
     if args.chrome is not None:

@@ -19,6 +19,7 @@ FAST_SCRIPTS = [
     "counter_selection.py",
     "cache_exploration.py",
     "npb_suite.py",
+    "ops_service.py",
 ]
 
 

@@ -252,3 +252,22 @@ class TestFleetCli:
         other.write_text(json.dumps({"hello": 1}))
         assert main(["report", str(other)]) == 2
         assert "no 'fleet' block" in capsys.readouterr().err
+
+
+class TestRunExitCodes:
+    def test_zero_job_fleet_exits_1(self, capsys, monkeypatch):
+        """A fleet where no member finished a job must not read as success."""
+        import repro.fleet_cli as fleet_cli
+
+        real_run = fleet_cli.run_fleet
+
+        def hollow(spec, **kwargs):
+            fleet = real_run(spec, **kwargs)
+            for member in fleet.members:
+                member.dataset.accounting.records.clear()
+            return fleet
+
+        monkeypatch.setattr(fleet_cli, "run_fleet", hollow)
+        rc = fleet_cli.main(["run", "--preset", "demo2", "--days", "1"])
+        assert rc == 1
+        assert "zero jobs" in capsys.readouterr().err

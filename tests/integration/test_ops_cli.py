@@ -130,3 +130,112 @@ class TestJobs:
             cols = line.split()
             if cols and cols[0].isdigit():
                 assert cols[2] == "1"
+
+
+class TestReport:
+    def test_report_renders_performance_page(self, capsys):
+        rc = main(["report", "--job", "1", "--trace"] + SMALL)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "job 1 performance report" in out
+        assert "throughput :" in out
+        assert "critical   :" in out  # --trace gives real attribution
+
+    def test_report_untraced_notes_missing_attribution(self, capsys):
+        rc = main(["report", "--job", "1"] + SMALL)
+        assert rc == 0
+        assert "untraced campaign" in capsys.readouterr().out
+
+    def test_report_unknown_job_is_usage_error(self, capsys):
+        rc = main(["report", "--job", "999"] + SMALL)
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "no finished job 999" in err
+        assert "finished job ids" in err  # the hint names the valid range
+
+    def test_report_trace_conflicts_with_workers(self, capsys):
+        rc = main(["report", "--job", "1", "--trace", "--workers", "2"] + SMALL)
+        assert rc == 2
+        assert "--trace" in capsys.readouterr().err
+
+
+class TestServeAndAsk:
+    """One live service round trip through the real CLI entry points."""
+
+    @pytest.fixture()
+    def service(self, tmp_path):
+        import threading
+
+        port_file = tmp_path / "port"
+        rc_box = {}
+
+        def run_service():
+            rc_box["rc"] = main(
+                ["serve", "--name", "camp", "--port-file", str(port_file)] + SMALL
+            )
+
+        thread = threading.Thread(target=run_service, daemon=True)
+        thread.start()
+        deadline = 30.0
+        import time
+
+        start = time.monotonic()
+        while not port_file.exists():
+            if time.monotonic() - start > deadline:
+                pytest.fail("service never wrote its port file")
+            time.sleep(0.05)
+        # The port file appears at bind time, before the campaign has
+        # finished ingesting; wait until it reads as complete so the
+        # test body sees the full job table.
+        import asyncio
+
+        from repro.ops import OpsClient
+
+        async def wait_resident():
+            port = int(port_file.read_text().strip())
+            while time.monotonic() - start < deadline:
+                async with await OpsClient.connect("127.0.0.1", port) as client:
+                    cat = await client.request("catalog")
+                entries = cat["campaigns"]
+                if entries and entries[0]["status"] == "complete":
+                    return
+                await asyncio.sleep(0.05)
+            pytest.fail("campaign never completed ingest")
+
+        asyncio.run(wait_resident())
+        yield port_file
+        # Always stop the service, even if the test body failed.
+        main(["ask", "shutdown", "--port-file", str(port_file)])
+        thread.join(timeout=10.0)
+        assert rc_box.get("rc") == 0  # clean shutdown path
+
+    def test_ask_round_trips(self, service, capsys):
+        import json
+
+        port = ["--port-file", str(service)]
+        assert main(["ask", "ping"] + port) == 0
+        ping = json.loads(capsys.readouterr().out)
+        assert ping["campaigns"] == 1
+
+        assert main(["ask", "query", "--campaign", "camp", "--metric",
+                     "gflops.system"] + port) == 0
+        query = json.loads(capsys.readouterr().out)
+        assert query["count"] > 0 and query["dropped"] == 0
+
+        assert main(["ask", "report", "--campaign", "camp", "--job", "1"] + port) == 0
+        assert "job 1 performance report" in capsys.readouterr().out
+
+    def test_ask_protocol_errors_map_to_exit_codes(self, service, capsys):
+        port = ["--port-file", str(service)]
+        # Usage errors (the request was wrong) exit 2.
+        assert main(["ask", "query", "--campaign", "ghost", "--metric",
+                     "gflops.system"] + port) == 2
+        assert "unknown-campaign" in capsys.readouterr().err
+        # Operational errors (nothing listening) exit 1.
+        assert main(["ask", "ping", "--port", "1"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_ask_without_port_is_usage_error(self, capsys):
+        rc = main(["ask", "ping"])
+        assert rc == 2
+        assert "--port" in capsys.readouterr().err

@@ -97,3 +97,17 @@ class TestAnalysis:
         out = capsys.readouterr().out
         assert "jobs traced" in out
         assert "by category:" in out
+
+
+class TestExitCodes:
+    def test_record_zero_spans_exits_1(self, tmp_path, capsys, monkeypatch):
+        """A recording that captured nothing must not read as success."""
+        import repro.trace_cli as trace_cli
+        from repro.tracing.tracer import Tracer
+
+        monkeypatch.setattr(trace_cli, "Tracer", lambda: Tracer(enabled=False))
+        out = tmp_path / "trace.jsonl"
+        rc = trace_cli.main(["record", "--days", "1", "--out", str(out)])
+        assert rc == 1
+        assert "zero spans" in capsys.readouterr().err
+        assert not out.exists()
