@@ -11,9 +11,11 @@ Entry points, mirroring ``bench_hotpath``:
 
 * ``pytest benchmarks/ --benchmark-only`` runs a short scaling check;
 * ``python benchmarks/bench_fleet.py --out benchmarks/BENCH_fleet.json``
-  records the reference numbers; ``--check`` fails if the measured
-  overhead factor regressed past ``--tolerance`` (ratios are
-  machine-portable where absolute seconds are not).
+  records the reference numbers with per-repeat overhead-factor samples;
+  ``--check`` is the statistical gate (docs/STATS.md): it fails only
+  when the measured factor's confidence interval sits entirely above
+  the tolerance-scaled baseline CI.  Old baselines without ``samples``
+  fall back to the single-ratio comparison.
 """
 
 from __future__ import annotations
@@ -27,6 +29,8 @@ from dataclasses import dataclass
 
 from repro.fleet.runner import run_fleet
 from repro.fleet.spec import FleetSpec, MemberSpec
+from repro.stats.estimators import mean_ci
+from repro.stats.gate import ci_overlap_gate, render_gate
 
 
 @dataclass(frozen=True)
@@ -59,26 +63,45 @@ def measure_fleet_scaling(
     n_days: int = 4,
     n_users: int = 16,
     repeats: int = 1,
-) -> list[FleetPoint]:
-    """Best-of-``repeats`` fleet wall time per member count."""
-    points: list[FleetPoint] = []
-    for n in member_counts:
-        spec = _spec(n, seed=seed, n_days=n_days, n_users=n_users)
-        best = float("inf")
-        for _ in range(repeats):
+) -> tuple[list[FleetPoint], list[float]]:
+    """(best-of-``repeats`` points, per-repeat overhead-factor samples).
+
+    Every repeat sweeps the whole member-count ladder once, so each
+    contributes one end-to-end overhead-factor observation — the sample
+    the statistical gate consumes.
+    """
+    seconds = {n: [] for n in member_counts}
+    meta: dict[int, FleetPoint] = {}
+    for _ in range(repeats):
+        for n in member_counts:
+            spec = _spec(n, seed=seed, n_days=n_days, n_users=n_users)
             t0 = time.perf_counter()
             fleet = run_fleet(spec)
-            best = min(best, time.perf_counter() - t0)
-        points.append(
-            FleetPoint(
+            seconds[n].append(time.perf_counter() - t0)
+            meta[n] = FleetPoint(
                 n_members=n,
                 total_nodes=spec.total_nodes,
                 submissions=fleet.trace.total_submissions,
                 jobs=sum(len(m.dataset.accounting) for m in fleet.members),
-                seconds=best,
+                seconds=0.0,
             )
+    points = [
+        FleetPoint(
+            n_members=n,
+            total_nodes=meta[n].total_nodes,
+            submissions=meta[n].submissions,
+            jobs=meta[n].jobs,
+            seconds=min(seconds[n]),
         )
-    return points
+        for n in member_counts
+    ]
+    base_n, top_n = member_counts[0], member_counts[-1]
+    capacity_ratio = meta[top_n].total_nodes / meta[base_n].total_nodes
+    samples = [
+        (seconds[top_n][r] / seconds[base_n][r]) / capacity_ratio
+        for r in range(repeats)
+    ]
+    return points, samples
 
 
 def overhead_factor(points: list[FleetPoint]) -> float:
@@ -113,7 +136,7 @@ def test_fleet_scaling(benchmark, capsys):
     scaling — generous enough for any CI machine, tight enough to catch
     a quadratic routing or merge path."""
     days = min(int(os.environ.get("REPRO_BENCH_DAYS", "60")), 3)
-    points = benchmark.pedantic(
+    points, _ = benchmark.pedantic(
         lambda: measure_fleet_scaling([1, 2, 3], n_days=days, n_users=12),
         rounds=1,
         iterations=1,
@@ -151,18 +174,25 @@ def main(argv: list[str] | None = None) -> int:
         "--tolerance",
         type=float,
         default=1.5,
-        help="fail --check if measured factor > tolerance × recorded factor",
+        help="scale the baseline CI ceiling: fail only when the measured "
+        "factor's CI sits entirely above tolerance × the baseline CI "
+        "upper bound",
     )
     args = p.parse_args(argv)
 
-    points = measure_fleet_scaling(
+    points, samples = measure_fleet_scaling(
         args.members,
         seed=args.seed,
         n_days=args.days,
         n_users=args.users,
         repeats=args.repeats,
     )
+    est = mean_ci(samples)
     print(render_table(points, n_days=args.days, seed=args.seed))
+    print(
+        f"# factor distribution: {est.mean:.3f} "
+        f"[{est.ci_low:.3f}, {est.ci_high:.3f}] over n={est.n} repeats"
+    )
     record = {
         "config": {
             "seed": args.seed,
@@ -181,7 +211,9 @@ def main(argv: list[str] | None = None) -> int:
             }
             for p in points
         ],
-        "overhead_factor": round(overhead_factor(points), 3),
+        "overhead_factor": round(est.mean, 3),
+        "samples": [round(s, 4) for s in samples],
+        "ci": {"low": round(est.ci_low, 3), "high": round(est.ci_high, 3), "n": est.n},
     }
     if args.out:
         with open(args.out, "w") as fh:
@@ -191,19 +223,36 @@ def main(argv: list[str] | None = None) -> int:
     if args.check:
         with open(args.check) as fh:
             recorded = json.load(fh)
-        ceiling = args.tolerance * recorded["overhead_factor"]
-        measured = record["overhead_factor"]
-        print(
-            f"perf gate: measured factor {measured:.2f} vs recorded "
-            f"{recorded['overhead_factor']:.2f} (ceiling {ceiling:.2f})"
-        )
-        if measured > ceiling:
-            print(
-                f"FAIL: fleet federation overhead regressed past "
-                f"{args.tolerance:.0%} of the recorded factor",
-                file=sys.stderr,
+        if "samples" in recorded:
+            gate = ci_overlap_gate(
+                samples,
+                recorded["samples"],
+                higher_is_better=False,
+                tolerance=args.tolerance,
             )
-            return 1
+            print(render_gate(gate, "fleet overhead factor"))
+            if not gate.passed:
+                print(
+                    "FAIL: fleet federation overhead regressed past the "
+                    "recorded factor distribution",
+                    file=sys.stderr,
+                )
+                return 1
+        else:
+            # Pre-statistical baseline: single-ratio fallback.
+            ceiling = args.tolerance * recorded["overhead_factor"]
+            measured = record["overhead_factor"]
+            print(
+                f"perf gate (legacy ratio): measured factor {measured:.2f} vs "
+                f"recorded {recorded['overhead_factor']:.2f} (ceiling {ceiling:.2f})"
+            )
+            if measured > ceiling:
+                print(
+                    f"FAIL: fleet federation overhead regressed past "
+                    f"{args.tolerance:.0%} of the recorded factor",
+                    file=sys.stderr,
+                )
+                return 1
     return 0
 
 

@@ -19,6 +19,19 @@ BENCH_DAYS = int(os.environ.get("REPRO_BENCH_DAYS", "60"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
 
 
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ carries the registered ``bench``
+    marker, so a plain unit run can deselect the timing harness with
+    ``pytest tests/ benchmarks/ -m "not bench"``.  The hook sees the
+    whole session's items, so scope the marker by path."""
+    for item in items:
+        if str(item.path).startswith(BENCH_DIR):
+            item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def campaign():
     """The measured dataset every experiment analyses."""

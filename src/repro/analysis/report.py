@@ -33,6 +33,36 @@ class Headline:
         )
 
 
+#: Every §5–§7 claim with its paper-side value and unit — the static
+#: half of the headline table.  The repeat layer (:mod:`repro.stats`)
+#: uses this to annotate across-seed estimates without re-running the
+#: analysis, so keep it in sync with :func:`headline_report` (a test
+#: pins the two against each other).
+PAPER_CLAIMS: dict[str, tuple[float, str]] = {
+    "average daily system performance": (1.3, "Gflops"),
+    "system efficiency (of aggregate peak)": (0.03, "fraction"),
+    "machine average utilization": (0.64, "fraction"),
+    "maximum daily utilization": (0.95, "fraction"),
+    "maximum 24-hour rate": (3.4, "Gflops"),
+    "maximum 15-minute rate": (5.7, "Gflops"),
+    "time-weighted batch-job rate": (19.0, "Mflops/node"),
+    "batch-job flops per memory instruction": (1.0, "ratio"),
+    "fma fraction of the best-decile jobs": (0.80, "fraction"),
+    "max 15-minute DMA traffic per node": (5.4, "MB/s"),
+    "busy-day (>2 Gflops) mean performance": (2.5, "Gflops"),
+    "busy-day DMA traffic per node": (1.3, "MB/s"),
+    "fma fraction of workload flops": (0.54, "fraction"),
+    "FPU0:FPU1 instruction ratio": (1.7, "ratio"),
+    "flops per memory instruction": (0.53, "ratio"),
+    "cache miss ratio (lower bound)": (0.010, "fraction"),
+    "TLB miss ratio (lower bound)": (0.001, "fraction"),
+    "branch fraction of instructions": (0.11, "fraction"),
+    "delay per memory instruction": (0.12, "cycles"),
+    "cycles per flop (busy days)": (4.0, "cycles"),
+    "most popular node count": (16, "nodes"),
+}
+
+
 def headline_report(dataset: StudyDataset) -> list[Headline]:
     """Every §5–§7 headline number, paper vs measured."""
     daily = dataset.daily_gflops()

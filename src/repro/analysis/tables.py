@@ -54,6 +54,56 @@ def _representative(
     return min(rates, key=lambda r: abs(r.mflops_total - mean))
 
 
+#: Table 2's row layout — shared with :mod:`repro.stats.metrics`, which
+#: re-derives every cell per seed to put error bars on it.
+TABLE2_ROWS: tuple = (
+    ("Mips", lambda r: r.mips_total),
+    ("Mops", lambda r: r.mops_total),
+    ("Mflops", lambda r: r.mflops_total),
+)
+
+#: Table 3's section/row layout (same sharing contract as TABLE2_ROWS).
+TABLE3_SECTIONS: tuple = (
+    (
+        "OPS",
+        (
+            ("Mflops-All", lambda r: r.mflops_total),
+            ("Mflops-add", lambda r: r.mflops_add),
+            ("Mflops-div", lambda r: r.mflops_div),
+            ("Mflops-mult", lambda r: r.mflops_mul),
+            ("Mflops-fma", lambda r: r.mflops_fma),
+        ),
+    ),
+    (
+        "INST",
+        (
+            ("Mips-Floating Point (Total)", lambda r: r.mips_fp_total),
+            ("Mips-Floating Point (Unit 0)", lambda r: r.mips_fp_unit0),
+            ("Mips-Floating Point (Unit 1)", lambda r: r.mips_fp_unit1),
+            ("Mips-Fixed Point Unit (Total)", lambda r: r.mips_fxu_total),
+            ("Mips-Fixed Point (Unit 1)", lambda r: r.mips_fxu_unit1),
+            ("Mips-Fixed Point (Unit 0)", lambda r: r.mips_fxu_unit0),
+            ("Mips-Inst Cache Unit", lambda r: r.mips_icu),
+        ),
+    ),
+    (
+        "CACHE",
+        (
+            ("Data Cache Misses-Million/S", lambda r: r.dcache_miss_rate),
+            ("TLB-Million/S", lambda r: r.tlb_miss_rate),
+            ("Instruction Cache Misses-Million/S", lambda r: r.icache_miss_rate),
+        ),
+    ),
+    (
+        "I/O",
+        (
+            ("DMA reads-MTransfer/S", lambda r: r.dma_read_rate),
+            ("DMA writes-MTransfer/S", lambda r: r.dma_write_rate),
+        ),
+    ),
+)
+
+
 def table2(dataset: StudyDataset) -> Table:
     """Table 2: Mips / Mops / Mflops over the >2 Gflops days."""
     idx, rates = busy_days(dataset)
@@ -65,11 +115,7 @@ def table2(dataset: StudyDataset) -> Table:
         f"({len(rates)} of {len(dataset.daily_rates())} days > {BUSY_DAY_GFLOPS} Gflops)",
         columns=("Rates", "Day 45.0", "Avg Rate", "Std"),
     )
-    for label, get in (
-        ("Mips", lambda r: r.mips_total),
-        ("Mops", lambda r: r.mops_total),
-        ("Mflops", lambda r: r.mflops_total),
-    ):
+    for label, get in TABLE2_ROWS:
         s = summary([get(r) for r in rates])
         t.add_row(label, get(day), s.mean, s.std)
     return t
@@ -85,50 +131,11 @@ def table3(dataset: StudyDataset) -> Table:
         title="Table 3: Measured Major Rates for NAS Workload (breakdown)",
         columns=("Rates", "Day 45.0", "Avg", "Std"),
     )
-
-    def rows(section: str, entries: list[tuple[str, object]]) -> None:
+    for section, entries in TABLE3_SECTIONS:
         t.add_section(section)
         for label, get in entries:
             s = summary([get(r) for r in rates])
             t.add_row(label, get(day), s.mean, s.std)
-
-    rows(
-        "OPS",
-        [
-            ("Mflops-All", lambda r: r.mflops_total),
-            ("Mflops-add", lambda r: r.mflops_add),
-            ("Mflops-div", lambda r: r.mflops_div),
-            ("Mflops-mult", lambda r: r.mflops_mul),
-            ("Mflops-fma", lambda r: r.mflops_fma),
-        ],
-    )
-    rows(
-        "INST",
-        [
-            ("Mips-Floating Point (Total)", lambda r: r.mips_fp_total),
-            ("Mips-Floating Point (Unit 0)", lambda r: r.mips_fp_unit0),
-            ("Mips-Floating Point (Unit 1)", lambda r: r.mips_fp_unit1),
-            ("Mips-Fixed Point Unit (Total)", lambda r: r.mips_fxu_total),
-            ("Mips-Fixed Point (Unit 1)", lambda r: r.mips_fxu_unit1),
-            ("Mips-Fixed Point (Unit 0)", lambda r: r.mips_fxu_unit0),
-            ("Mips-Inst Cache Unit", lambda r: r.mips_icu),
-        ],
-    )
-    rows(
-        "CACHE",
-        [
-            ("Data Cache Misses-Million/S", lambda r: r.dcache_miss_rate),
-            ("TLB-Million/S", lambda r: r.tlb_miss_rate),
-            ("Instruction Cache Misses-Million/S", lambda r: r.icache_miss_rate),
-        ],
-    )
-    rows(
-        "I/O",
-        [
-            ("DMA reads-MTransfer/S", lambda r: r.dma_read_rate),
-            ("DMA writes-MTransfer/S", lambda r: r.dma_write_rate),
-        ],
-    )
     return t
 
 
@@ -141,23 +148,14 @@ def table4(dataset: StudyDataset) -> Table:
     * the analytic no-reuse sequential access bound;
     * NPB BT on 49 CPUs (the ``npb_bt`` kernel through the cycle model).
     """
-    _, rates = busy_days(dataset)
-    if not rates:
-        raise ValueError("no day exceeded the 2 Gflops filter; run a longer campaign")
-    wl_cache = float(np.mean([r.dcache_miss_ratio for r in rates]))
-    wl_tlb = float(np.mean([r.tlb_miss_ratio for r in rates]))
-    wl_mflops = float(np.mean([r.mflops_total for r in rates]))
-
-    cfg = POWER2_590
-    seq = kernel("sequential_access")
-    seq_cache = seq.access.dcache_miss_ratio(cfg)
-    seq_tlb = seq.access.tlb_miss_ratio(cfg)
-
-    bt = kernel("npb_bt")
-    model = CycleModel(cfg)
-    bt_result = model.execute(bt.mix_for_flops(1e8), bt.memory_behaviour(cfg), bt.deps)
-    bt_cache = bt.access.dcache_miss_ratio(cfg)
-    bt_tlb = bt.access.tlb_miss_ratio(cfg)
+    cells = table4_values(dataset)
+    wl_cache, wl_tlb, wl_mflops = (
+        cells["workload.cache_miss_ratio"],
+        cells["workload.tlb_miss_ratio"],
+        cells["workload.mflops"],
+    )
+    seq_cache, seq_tlb = cells["sequential.cache_miss_ratio"], cells["sequential.tlb_miss_ratio"]
+    bt_cache, bt_tlb = cells["npb_bt.cache_miss_ratio"], cells["npb_bt.tlb_miss_ratio"]
 
     t = Table(
         title="Table 4: Hierarchical Memory Performance",
@@ -170,5 +168,33 @@ def table4(dataset: StudyDataset) -> Table:
         f"{bt_cache:.1%}",
     )
     t.add_row("TLB Miss Ratio", f"{wl_tlb:.2%}", f"{seq_tlb:.2%}", f"{bt_tlb:.2%}")
-    t.add_row("Mflops/CPU", wl_mflops, "", bt_result.mflops)
+    t.add_row("Mflops/CPU", wl_mflops, "", cells["npb_bt.mflops"])
     return t
+
+
+def table4_values(dataset: StudyDataset) -> dict[str, float]:
+    """Table 4's cells as a flat dict (the repeat layer samples these).
+
+    The ``sequential.*`` and ``npb_bt.*`` entries are analytic —
+    constant across seeds — while the ``workload.*`` entries vary with
+    the campaign realization.
+    """
+    _, rates = busy_days(dataset)
+    if not rates:
+        raise ValueError("no day exceeded the 2 Gflops filter; run a longer campaign")
+    cfg = POWER2_590
+    seq = kernel("sequential_access")
+    bt = kernel("npb_bt")
+    bt_result = CycleModel(cfg).execute(
+        bt.mix_for_flops(1e8), bt.memory_behaviour(cfg), bt.deps
+    )
+    return {
+        "workload.cache_miss_ratio": float(np.mean([r.dcache_miss_ratio for r in rates])),
+        "workload.tlb_miss_ratio": float(np.mean([r.tlb_miss_ratio for r in rates])),
+        "workload.mflops": float(np.mean([r.mflops_total for r in rates])),
+        "sequential.cache_miss_ratio": float(seq.access.dcache_miss_ratio(cfg)),
+        "sequential.tlb_miss_ratio": float(seq.access.tlb_miss_ratio(cfg)),
+        "npb_bt.cache_miss_ratio": float(bt.access.dcache_miss_ratio(cfg)),
+        "npb_bt.tlb_miss_ratio": float(bt.access.tlb_miss_ratio(cfg)),
+        "npb_bt.mflops": float(bt_result.mflops),
+    }

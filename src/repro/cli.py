@@ -5,6 +5,7 @@ Examples::
     sp2-study --days 30 --seed 1                  # headlines only
     sp2-study --days 270 --tables --figures       # the full paper
     sp2-study --days 30 --csv-dir out/            # dump figure CSVs
+    sp2-study repeat --target-rse 0.02            # error bars on everything
 """
 
 from __future__ import annotations
@@ -104,6 +105,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "repeat":
+        # The statistical campaign verb: multi-seed adaptive repetition
+        # with error bars on every headline (docs/STATS.md).  Plain
+        # `sp2-study` flags keep their historical single-campaign
+        # behaviour byte-for-byte.
+        from repro.stats.cli import repeat_main
+
+        return repeat_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.resume and args.checkpoint_dir is None:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)

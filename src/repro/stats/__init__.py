@@ -1,0 +1,65 @@
+"""Statistical campaign layer — error bars on every headline.
+
+Every table and headline the reproduction reports used to be a point
+estimate from one seed; the paper's own §6 pathologies (paging storms,
+switch contention) are exactly the heavy-tailed behaviour where a single
+realization can mislead.  This package supplies the missing discipline:
+
+* :mod:`repro.stats.estimators` — mean/quantile confidence intervals
+  (Student t and bootstrap), relative standard error, a two-sample
+  KS-stability check, and a unimodal-vs-multimodal classifier;
+* :mod:`repro.stats.stopping` — pluggable adaptive stopping rules
+  (CI half-width, RSE target, KS stability, max-repeats cutoff);
+* :mod:`repro.stats.repeater` — the batch-wise multi-seed campaign
+  driver that evaluates the rules and records every per-seed sample;
+* :mod:`repro.stats.campaign` — the concrete ``sp2-study`` repeat unit
+  (one seed → one campaign → one flat metric dict);
+* :mod:`repro.stats.annotate` — ``value ± halfwidth [n=…, rule=…]``
+  reporting for Tables 1–4, the headline block and ``--json``;
+* :mod:`repro.stats.gate` — the CI-overlap perf-regression gate the
+  benchmark ``--check`` modes use instead of one-ratio thresholds.
+"""
+
+from repro.stats.estimators import (
+    DistributionShape,
+    Estimate,
+    bootstrap_ci,
+    classify_distribution,
+    ks_statistic,
+    mean_ci,
+    quantile_ci,
+    relative_standard_error,
+    t_ppf,
+)
+from repro.stats.gate import GateResult, ci_overlap_gate
+from repro.stats.repeater import Repeater, RepeatResult
+from repro.stats.stopping import (
+    HalfWidthRule,
+    KSStableRule,
+    MaxRepeatsRule,
+    RSERule,
+    SampleHistory,
+    StopDecision,
+)
+
+__all__ = [
+    "DistributionShape",
+    "Estimate",
+    "GateResult",
+    "HalfWidthRule",
+    "KSStableRule",
+    "MaxRepeatsRule",
+    "RSERule",
+    "RepeatResult",
+    "Repeater",
+    "SampleHistory",
+    "StopDecision",
+    "bootstrap_ci",
+    "ci_overlap_gate",
+    "classify_distribution",
+    "ks_statistic",
+    "mean_ci",
+    "quantile_ci",
+    "relative_standard_error",
+    "t_ppf",
+]

@@ -1,0 +1,93 @@
+"""The statistical perf-regression gate.
+
+The old gates compared one measured ratio against one recorded ratio —
+a single noisy number against another single noisy number, so the
+tolerance had to absorb both machines' run-to-run variance.  The
+CI-overlap gate compares *distributions*: the recorded baseline carries
+its per-repeat samples, the measured run carries its own, and the gate
+fails only when the measured confidence interval lies entirely on the
+regressed side of the (tolerance-scaled) baseline interval.
+
+``tolerance`` keeps its old operational meaning: for a higher-is-better
+metric (a speedup) it scales the baseline floor down (0.8 = "worse than
+80% of baseline is a regression"); for lower-is-better (latency, an
+overhead factor) it scales the ceiling up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stats.estimators import Estimate, mean_ci
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """Verdict of one CI-overlap comparison."""
+
+    passed: bool
+    reason: str
+    measured: Estimate
+    baseline: Estimate
+    #: The tolerance-scaled baseline bound the measured CI was held to.
+    bound: float
+
+    def as_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "reason": self.reason,
+            "measured": self.measured.as_dict(),
+            "baseline": self.baseline.as_dict(),
+            "bound": self.bound,
+        }
+
+
+def ci_overlap_gate(
+    measured_samples,
+    baseline_samples,
+    *,
+    higher_is_better: bool = True,
+    tolerance: float = 1.0,
+    confidence: float = 0.95,
+) -> GateResult:
+    """PASS unless the measured CI clears the baseline CI entirely.
+
+    Higher-is-better: fail iff ``measured.ci_high < tolerance ×
+    baseline.ci_low`` — every plausible measured value sits below every
+    plausible (scaled) baseline value.  Lower-is-better mirrors it.
+    Overlapping intervals — or a measured mean at least as good as
+    baseline — always pass: noise is not a regression.
+    """
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+    measured = mean_ci(measured_samples, confidence)
+    baseline = mean_ci(baseline_samples, confidence)
+    if higher_is_better:
+        bound = tolerance * baseline.ci_low
+        passed = measured.ci_high >= bound or measured.mean >= baseline.mean
+        relation = ">=" if passed else "<"
+        reason = (
+            f"measured CI [{measured.ci_low:.4g}, {measured.ci_high:.4g}] "
+            f"(n={measured.n}) upper bound {relation} scaled baseline floor "
+            f"{bound:.4g} (baseline CI [{baseline.ci_low:.4g}, "
+            f"{baseline.ci_high:.4g}], n={baseline.n}, tolerance {tolerance:g})"
+        )
+    else:
+        bound = tolerance * baseline.ci_high
+        passed = measured.ci_low <= bound or measured.mean <= baseline.mean
+        relation = "<=" if passed else ">"
+        reason = (
+            f"measured CI [{measured.ci_low:.4g}, {measured.ci_high:.4g}] "
+            f"(n={measured.n}) lower bound {relation} scaled baseline ceiling "
+            f"{bound:.4g} (baseline CI [{baseline.ci_low:.4g}, "
+            f"{baseline.ci_high:.4g}], n={baseline.n}, tolerance {tolerance:g})"
+        )
+    return GateResult(passed, reason, measured, baseline, bound)
+
+
+def render_gate(result: GateResult, metric: str) -> str:
+    """The one-paragraph verdict the bench ``--check`` modes print."""
+    verdict = "PASS" if result.passed else "FAIL"
+    return (
+        f"perf gate [{metric}]: {verdict} (CI overlap) — {result.reason}"
+    )

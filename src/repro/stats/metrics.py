@@ -1,0 +1,69 @@
+"""Flatten one campaign into ``{metric: value}`` for the repeater.
+
+One repeat = one seed = one dict.  Keys are stable, namespaced strings:
+
+* ``campaign.*`` — the ``--json`` campaign block (always present);
+* ``headline.<claim>`` — every §5–§7 headline's measured value;
+* ``table2.<row>.avg`` / ``table3.<section>.<row>.avg`` — the busy-day
+  table cells (present only when the seed produced busy days — short
+  campaigns on quiet seeds legitimately miss them, and the repeater
+  records per-metric seed lists so the estimates stay honest);
+* ``table4.<column>.<rate>`` — the hierarchical-memory cells.
+
+The row layouts are imported from :mod:`repro.analysis.tables`, so a
+table edit automatically propagates to the statistical layer.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import headline_report
+from repro.analysis.tables import (
+    TABLE2_ROWS,
+    TABLE3_SECTIONS,
+    busy_days,
+    table4_values,
+)
+from repro.core.study import StudyDataset
+
+#: The stopping rules' default target statistic.
+DEFAULT_TARGET_METRIC = "campaign.daily_gflops_mean"
+
+
+def collect_metrics(dataset: StudyDataset) -> dict[str, float]:
+    """Every reported number of one campaign, as a flat float dict."""
+    daily = dataset.daily_gflops()
+    util = dataset.daily_utilization()[: len(daily)]
+    _, interval = dataset.interval_gflops()
+    acct = dataset.accounting
+    idx, rates = busy_days(dataset)
+
+    out: dict[str, float] = {
+        "campaign.jobs_accounted": float(len(acct)),
+        "campaign.events_processed": float(dataset.events_processed),
+        "campaign.daily_gflops_mean": float(daily.mean()) if daily.size else 0.0,
+        "campaign.daily_gflops_max": float(daily.max()) if daily.size else 0.0,
+        "campaign.utilization_mean": float(util.mean()) if util.size else 0.0,
+        "campaign.utilization_max": float(util.max()) if util.size else 0.0,
+        "campaign.interval_gflops_max": float(interval.max()) if interval.size else 0.0,
+        "campaign.busy_days": float(len(idx)),
+        "campaign.time_weighted_mflops_per_node": float(
+            acct.time_weighted_mflops_per_node()
+        ),
+    }
+
+    for h in headline_report(dataset):
+        out[f"headline.{h.claim}"] = float(h.measured_value)
+
+    if rates:
+        for label, get in TABLE2_ROWS:
+            out[f"table2.{label}.avg"] = float(
+                sum(get(r) for r in rates) / len(rates)
+            )
+        for section, entries in TABLE3_SECTIONS:
+            for label, get in entries:
+                out[f"table3.{section}.{label}.avg"] = float(
+                    sum(get(r) for r in rates) / len(rates)
+                )
+        for key, value in table4_values(dataset).items():
+            out[f"table4.{key}"] = float(value)
+    return out

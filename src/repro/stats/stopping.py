@@ -1,0 +1,184 @@
+"""Adaptive stopping rules — run *until* the statistic converges.
+
+The exemplar shape is SHARP's repeater family (``ci``/``rse``/``ks``,
+"Adaptive stopping rule for performance measurements", SC'23): after
+each batch of repeats a rule inspects the sample history and either
+stops the campaign with a named reason or asks for another batch.
+
+Termination is structural, not hoped-for: the
+:class:`~repro.stats.repeater.Repeater` always enforces a max-repeats
+cutoff on top of whatever convergence rules are configured, so every
+campaign halts (the calibration suite property-tests this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.stats.estimators import ks_statistic, mean_ci, relative_standard_error
+
+
+@dataclass(frozen=True)
+class StopDecision:
+    """Why a campaign stopped: the rule's name and a rendered detail."""
+
+    rule: str
+    detail: str
+
+    def as_dict(self) -> dict:
+        return {"rule": self.rule, "detail": self.detail}
+
+
+@dataclass
+class SampleHistory:
+    """Per-batch samples of the target statistic, in arrival order."""
+
+    batches: list[list[float]] = field(default_factory=list)
+
+    def extend(self, batch: list[float]) -> None:
+        if batch:
+            self.batches.append([float(v) for v in batch])
+
+    @property
+    def values(self) -> list[float]:
+        return [v for batch in self.batches for v in batch]
+
+    @property
+    def n(self) -> int:
+        return sum(len(b) for b in self.batches)
+
+
+class StoppingRule:
+    """One convergence criterion; subclasses override :meth:`check`."""
+
+    name = "abstract"
+
+    def check(self, history: SampleHistory) -> StopDecision | None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass
+class HalfWidthRule(StoppingRule):
+    """Stop when the CI half-width shrinks to ``target``.
+
+    ``relative`` (the default) measures the half-width as a fraction of
+    |mean| — the form headline metrics want; absolute mode suits metrics
+    with a meaningful zero such as ratios-to-paper.
+    """
+
+    target: float
+    relative: bool = True
+    confidence: float = 0.95
+    min_n: int = 3
+    name: str = field(default="ci-halfwidth", init=False)
+
+    def __post_init__(self) -> None:
+        if self.target <= 0:
+            raise ValueError(f"target half-width must be positive, got {self.target}")
+
+    def check(self, history: SampleHistory) -> StopDecision | None:
+        if history.n < self.min_n:
+            return None
+        est = mean_ci(history.values, self.confidence)
+        width = est.relative_halfwidth if self.relative else est.halfwidth
+        if width <= self.target:
+            kind = "relative " if self.relative else ""
+            return StopDecision(
+                self.name,
+                f"{kind}CI half-width {width:.4g} <= {self.target:g} at n={est.n}",
+            )
+        return None
+
+    def describe(self) -> str:
+        rel = "relative" if self.relative else "absolute"
+        return f"{self.name}({rel} target {self.target:g})"
+
+
+@dataclass
+class RSERule(StoppingRule):
+    """Stop when the relative standard error of the mean hits ``target``."""
+
+    target: float
+    min_n: int = 3
+    name: str = field(default="rse", init=False)
+
+    def __post_init__(self) -> None:
+        if self.target <= 0:
+            raise ValueError(f"target RSE must be positive, got {self.target}")
+
+    def check(self, history: SampleHistory) -> StopDecision | None:
+        if history.n < self.min_n:
+            return None
+        rse = relative_standard_error(history.values)
+        if rse <= self.target:
+            return StopDecision(
+                self.name, f"RSE {rse:.4g} <= {self.target:g} at n={history.n}"
+            )
+        return None
+
+    def describe(self) -> str:
+        return f"{self.name}(target {self.target:g})"
+
+
+@dataclass
+class KSStableRule(StoppingRule):
+    """Stop when the newest batch no longer moves the distribution.
+
+    Compares the latest batch against everything seen before it with the
+    two-sample KS statistic; below ``threshold`` the campaign's empirical
+    distribution has stabilized.  Both sides must hold ``min_side``
+    observations — the KS statistic of two tiny samples is vacuously
+    coarse.
+    """
+
+    threshold: float = 0.3
+    min_side: int = 5
+    name: str = field(default="ks-stable", init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError(f"KS threshold must be in (0, 1], got {self.threshold}")
+
+    def check(self, history: SampleHistory) -> StopDecision | None:
+        if len(history.batches) < 2:
+            return None
+        last = history.batches[-1]
+        prev = [v for batch in history.batches[:-1] for v in batch]
+        if len(last) < self.min_side or len(prev) < self.min_side:
+            return None
+        stat = ks_statistic(prev, last)
+        if stat <= self.threshold:
+            return StopDecision(
+                self.name,
+                f"KS {stat:.4g} <= {self.threshold:g} "
+                f"(batch of {len(last)} vs {len(prev)} prior)",
+            )
+        return None
+
+    def describe(self) -> str:
+        return f"{self.name}(threshold {self.threshold:g})"
+
+
+@dataclass
+class MaxRepeatsRule(StoppingRule):
+    """The unconditional cutoff — fires at ``limit`` repeats, always."""
+
+    limit: int
+    name: str = field(default="max-repeats", init=False)
+
+    def __post_init__(self) -> None:
+        if self.limit < 1:
+            raise ValueError(f"repeat limit must be positive, got {self.limit}")
+
+    def check(self, history: SampleHistory) -> StopDecision | None:
+        if history.n >= self.limit:
+            return StopDecision(
+                self.name, f"reached the {self.limit}-repeat cutoff unconverged"
+            )
+        return None
+
+    def describe(self) -> str:
+        return f"{self.name}({self.limit})"

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.analysis.report import Headline, headline_report, paper_comparison
+from repro.analysis.report import (
+    PAPER_CLAIMS,
+    Headline,
+    headline_report,
+    paper_comparison,
+)
 
 
 class TestHeadline:
@@ -50,3 +55,16 @@ class TestReport:
         text = paper_comparison(month_dataset)
         assert "Paper vs measured" in text
         assert "Gflops" in text
+
+
+class TestPaperClaims:
+    """PAPER_CLAIMS is the static mirror of headline_report — the repeat
+    layer annotates against it, so the two must never drift apart."""
+
+    def test_claims_match_headline_report_exactly(self, month_dataset):
+        report = headline_report(month_dataset)
+        assert [h.claim for h in report] == list(PAPER_CLAIMS)
+        for h in report:
+            paper, unit = PAPER_CLAIMS[h.claim]
+            assert h.paper_value == paper, h.claim
+            assert h.unit == unit, h.claim

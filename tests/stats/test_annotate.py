@@ -1,0 +1,119 @@
+"""Annotation layer: every rendered value carries its error bar."""
+
+import json
+
+import pytest
+
+from repro.analysis.report import PAPER_CLAIMS
+from repro.stats.annotate import (
+    format_estimate,
+    repeat_headline_block,
+    repeat_summary,
+    repeat_tables,
+)
+from repro.stats.estimators import mean_ci
+from repro.stats.repeater import RepeatResult
+from repro.stats.stopping import StopDecision
+
+
+def fake_result() -> RepeatResult:
+    """A hand-built 4-seed result with headline, table and campaign keys."""
+    seeds = [0, 1, 2, 3]
+    samples = {
+        "campaign.daily_gflops_mean": [1.20, 1.32, 1.28, 1.24],
+        "campaign.jobs_accounted": [900.0, 950.0, 930.0, 910.0],
+        "headline.average daily system performance": [1.20, 1.32, 1.28, 1.24],
+        "headline.machine average utilization": [0.61, 0.66, 0.63, 0.64],
+        "table2.Mflops.avg": [2500.0, 2600.0, 2550.0, 2580.0],
+        "table3.OPS.Mflops-All.avg": [2500.0, 2600.0, 2550.0, 2580.0],
+        "table4.workload.cache_miss_ratio": [0.011, 0.012, 0.011, 0.012],
+        "table4.npb_bt.cache_miss_ratio": [0.014, 0.014, 0.014, 0.014],
+    }
+    return RepeatResult(
+        seeds=seeds,
+        batch_sizes=[2, 2],
+        samples=samples,
+        metric_seeds={k: seeds for k in samples},
+        stopped=StopDecision("rse", "RSE 0.018 <= 0.02 at n=4"),
+        target_metric="campaign.daily_gflops_mean",
+    )
+
+
+class TestFormat:
+    def test_format_estimate_shape(self):
+        est = mean_ci([1.20, 1.32, 1.28, 1.24])
+        text = format_estimate(est, "rse")
+        assert "±" in text
+        assert "[n=4, rule=rse]" in text
+
+    def test_format_without_rule(self):
+        assert "rule" not in format_estimate(mean_ci([1.0, 2.0]))
+
+
+class TestHeadlineBlock:
+    def test_every_line_carries_error_bar_and_n(self):
+        block = repeat_headline_block(fake_result())
+        assert "4 campaigns" in block and "rule=rse" in block
+        for line in block.splitlines()[2:]:
+            assert "±" in line and "n=4" in line, line
+
+    def test_paper_order_preserved(self):
+        block = repeat_headline_block(fake_result())
+        perf = block.find("average daily system performance")
+        util = block.find("machine average utilization")
+        claims = list(PAPER_CLAIMS)
+        assert claims.index("average daily system performance") < claims.index(
+            "machine average utilization"
+        )
+        assert 0 < perf < util
+
+
+class TestTables:
+    def test_tables_render_with_ci_columns(self):
+        tables = repeat_tables(fake_result())
+        assert len(tables) == 4
+        t2 = tables[1].render()
+        assert "95% CI" in t2 and "±" in t2
+        t4 = tables[3].render()
+        assert "Cache Miss Ratio" in t4
+
+    def test_missing_metric_renders_blank(self):
+        # The fake result has no Mips samples: the row exists, cells blank.
+        t2 = repeat_tables(fake_result())[1]
+        mips_row = next(r for r in t2.rows if r and r[0] == "Mips")
+        assert mips_row[1] == "" and mips_row[2] == ""
+
+
+class TestSummary:
+    def test_every_value_is_an_estimate_dict(self):
+        payload = repeat_summary(fake_result(), config={"n_days": 30})
+        assert payload["repeat"]["rule"] == "rse"
+        assert payload["repeat"]["n"] == 4
+        for block in ("campaign", ):
+            for est in payload[block].values():
+                assert set(est) == {"mean", "ci_low", "ci_high", "n", "rule"}
+        for h in payload["headlines"]:
+            assert set(h["measured"]) == {"mean", "ci_low", "ci_high", "n", "rule"}
+            assert h["paper"] == PAPER_CLAIMS[h["claim"]][0]
+        for table in ("table2", "table3", "table4"):
+            for est in payload["tables"][table].values():
+                assert set(est) == {"mean", "ci_low", "ci_high", "n", "rule"}
+
+    def test_samples_ride_along(self):
+        payload = repeat_summary(fake_result())
+        s = payload["samples"]["campaign.daily_gflops_mean"]
+        assert s["seeds"] == [0, 1, 2, 3]
+        assert len(s["values"]) == 4
+
+    def test_json_serializable(self):
+        text = json.dumps(repeat_summary(fake_result()))
+        assert "ci_low" in text
+
+    def test_estimates_match_mean_ci(self):
+        result = fake_result()
+        payload = repeat_summary(result)
+        est = mean_ci(result.samples["campaign.daily_gflops_mean"])
+        got = payload["campaign"]["daily_gflops_mean"]
+        assert got["mean"] == pytest.approx(est.mean)
+        assert got["ci_low"] == pytest.approx(est.ci_low)
+        assert got["ci_high"] == pytest.approx(est.ci_high)

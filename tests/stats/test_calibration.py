@@ -1,0 +1,117 @@
+"""Calibration: the intervals mean what they say, the loops always end.
+
+Monte Carlo over seeded synthetic distributions with *known* true means:
+a nominal 95% ``mean_ci`` must cover the truth at ≥93% empirical rate —
+the slack absorbs both Monte-Carlo noise and the t-interval's mild
+anti-conservatism on skewed samples.  The termination property drives
+the Repeater with hypothesis-generated noise and rule configurations
+and demands it halt within ``max_repeats`` on every input.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.estimators import mean_ci
+from repro.stats.repeater import Repeater
+from repro.stats.stopping import HalfWidthRule, KSStableRule, RSERule
+
+pytestmark = pytest.mark.calibration
+
+TRIALS = 400
+SAMPLE_N = 20
+
+
+def synthetic(dist: str, rng: np.random.Generator, n: int) -> tuple[np.ndarray, float]:
+    """(sample, true mean) for one Monte-Carlo trial."""
+    if dist == "normal":
+        return rng.normal(10.0, 2.0, n), 10.0
+    if dist == "lognormal":
+        # E[lognormal(mu, sigma)] = exp(mu + sigma^2/2)
+        mu, sigma = 0.0, 0.5
+        return rng.lognormal(mu, sigma, n), float(np.exp(mu + sigma**2 / 2.0))
+    if dist == "bimodal":
+        lobes = rng.choice([4.0, 16.0], size=n)
+        return rng.normal(lobes, 1.0), 10.0
+    raise ValueError(dist)
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("dist", ["normal", "lognormal", "bimodal"])
+    def test_95pct_interval_covers_true_mean(self, dist):
+        rng = np.random.default_rng(20260807)
+        covered = 0
+        for _ in range(TRIALS):
+            sample, truth = synthetic(dist, rng, SAMPLE_N)
+            est = mean_ci(sample, 0.95)
+            covered += est.ci_low <= truth <= est.ci_high
+        rate = covered / TRIALS
+        assert rate >= 0.93, f"{dist}: empirical coverage {rate:.3f} < 0.93"
+
+    def test_coverage_scales_with_confidence(self):
+        """An 80% interval must cover less often than a 99% one."""
+        rng = np.random.default_rng(7)
+        hits = {0.80: 0, 0.99: 0}
+        for _ in range(TRIALS):
+            sample, truth = synthetic("normal", rng, SAMPLE_N)
+            for conf in hits:
+                est = mean_ci(sample, conf)
+                hits[conf] += est.ci_low <= truth <= est.ci_high
+        assert hits[0.80] < hits[0.99]
+        assert hits[0.99] / TRIALS >= 0.97
+
+
+class TestTermination:
+    """Every stopping configuration halts — structurally, not by luck."""
+
+    @given(
+        scale=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        offset=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        batch_size=st.integers(min_value=1, max_value=7),
+        max_repeats=st.integers(min_value=1, max_value=25),
+        target=st.floats(min_value=1e-9, max_value=10.0),
+        data_seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_repeater_always_halts(
+        self, scale, offset, batch_size, max_repeats, target, data_seed
+    ):
+        rng = np.random.default_rng(data_seed)
+
+        def run_one(seed: int) -> dict[str, float]:
+            return {"value": float(offset + scale * rng.standard_normal())}
+
+        rules = [
+            RSERule(target),
+            HalfWidthRule(target),
+            KSStableRule(min(max(target, 1e-3), 1.0)),
+        ]
+        result = Repeater(
+            run_one=run_one,
+            rules=rules,
+            batch_size=batch_size,
+            max_repeats=max_repeats,
+        ).run()
+        assert 1 <= result.n <= max_repeats
+        assert result.stopped.rule in ("rse", "ci-halfwidth", "ks-stable", "max-repeats")
+
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fixed_seed_campaigns_always_run_everything(self, values):
+        def run_one(seed: int) -> dict[str, float]:
+            return {"value": values[seed]}
+
+        result = Repeater(run_one=run_one, batch_size=3).run(
+            seeds=list(range(len(values)))
+        )
+        assert result.n == len(values)
+        assert result.stopped.rule == "fixed-seeds"

@@ -1,0 +1,67 @@
+"""The CI-overlap perf gate: noise passes, real regressions fail."""
+
+import pytest
+
+from repro.stats.gate import ci_overlap_gate, render_gate
+
+
+TIGHT_HIGH = [2.60, 2.65, 2.62, 2.63, 2.61]  # a recorded speedup baseline
+TIGHT_LOW = [10.0, 10.2, 9.9, 10.1, 10.0]  # a recorded latency baseline
+
+
+class TestHigherIsBetter:
+    def test_equivalent_sample_passes(self):
+        gate = ci_overlap_gate([2.58, 2.66, 2.61], TIGHT_HIGH)
+        assert gate.passed
+
+    def test_clear_regression_fails(self):
+        gate = ci_overlap_gate([1.20, 1.22, 1.21], TIGHT_HIGH, tolerance=0.8)
+        assert not gate.passed
+        assert "below" not in gate.reason  # reason states the comparison
+        assert gate.bound == pytest.approx(0.8 * gate.baseline.ci_low)
+
+    def test_noisy_overlap_passes(self):
+        # Wide measured CI straddling the floor: not enough evidence.
+        gate = ci_overlap_gate([1.5, 3.5], TIGHT_HIGH, tolerance=0.8)
+        assert gate.passed
+
+    def test_better_mean_always_passes(self):
+        gate = ci_overlap_gate([5.0, 5.01, 5.02], TIGHT_HIGH)
+        assert gate.passed
+
+
+class TestLowerIsBetter:
+    def test_equivalent_sample_passes(self):
+        gate = ci_overlap_gate(
+            [10.1, 9.8, 10.3], TIGHT_LOW, higher_is_better=False, tolerance=2.0
+        )
+        assert gate.passed
+
+    def test_clear_regression_fails(self):
+        gate = ci_overlap_gate(
+            [99.0, 101.0, 100.0], TIGHT_LOW, higher_is_better=False, tolerance=2.0
+        )
+        assert not gate.passed
+
+    def test_lower_mean_always_passes(self):
+        gate = ci_overlap_gate(
+            [5.0, 5.1, 4.9], TIGHT_LOW, higher_is_better=False, tolerance=1.0
+        )
+        assert gate.passed
+
+
+class TestRendering:
+    def test_render_verdicts(self):
+        ok = ci_overlap_gate(TIGHT_HIGH, TIGHT_HIGH)
+        assert render_gate(ok, "speedup").startswith("perf gate [speedup]: PASS")
+        bad = ci_overlap_gate([0.1, 0.11, 0.1], TIGHT_HIGH, tolerance=0.8)
+        assert "FAIL" in render_gate(bad, "speedup")
+
+    def test_as_dict_shape(self):
+        d = ci_overlap_gate(TIGHT_HIGH, TIGHT_HIGH).as_dict()
+        assert set(d) == {"passed", "reason", "measured", "baseline", "bound"}
+        assert set(d["measured"]) == {"mean", "ci_low", "ci_high", "n"}
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            ci_overlap_gate(TIGHT_HIGH, TIGHT_HIGH, tolerance=0.0)

@@ -1,0 +1,99 @@
+"""Stopping rules fire exactly when their statistic converges."""
+
+import pytest
+
+from repro.stats.stopping import (
+    HalfWidthRule,
+    KSStableRule,
+    MaxRepeatsRule,
+    RSERule,
+    SampleHistory,
+)
+
+
+def history(*batches):
+    h = SampleHistory()
+    for b in batches:
+        h.extend(list(b))
+    return h
+
+
+class TestSampleHistory:
+    def test_accumulates_in_order(self):
+        h = history([1.0, 2.0], [3.0])
+        assert h.values == [1.0, 2.0, 3.0]
+        assert h.n == 3
+        assert len(h.batches) == 2
+
+    def test_empty_batches_dropped(self):
+        h = history([], [1.0])
+        assert len(h.batches) == 1
+
+
+class TestRSERule:
+    def test_fires_on_tight_sample(self):
+        rule = RSERule(0.05)
+        decision = rule.check(history([10.0, 10.01, 9.99, 10.0]))
+        assert decision is not None and decision.rule == "rse"
+        assert "RSE" in decision.detail
+
+    def test_holds_on_noisy_sample(self):
+        assert RSERule(0.01).check(history([1.0, 5.0, 9.0])) is None
+
+    def test_min_n_gate(self):
+        # Two identical values have RSE 0 but n < min_n: keep sampling.
+        assert RSERule(0.05).check(history([10.0, 10.0])) is None
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            RSERule(0.0)
+
+
+class TestHalfWidthRule:
+    def test_relative_fires(self):
+        decision = HalfWidthRule(0.05).check(history([10.0, 10.05, 9.95, 10.0]))
+        assert decision is not None and decision.rule == "ci-halfwidth"
+
+    def test_absolute_mode(self):
+        h = history([10.0, 10.05, 9.95, 10.0])
+        assert HalfWidthRule(0.5, relative=False).check(h) is not None
+        assert HalfWidthRule(1e-6, relative=False).check(h) is None
+
+    def test_describe_names_mode(self):
+        assert "relative" in HalfWidthRule(0.1).describe()
+        assert "absolute" in HalfWidthRule(0.1, relative=False).describe()
+
+
+class TestKSStableRule:
+    def test_fires_when_batch_matches_prior(self):
+        base = [1.0, 2.0, 3.0, 4.0, 5.0]
+        decision = KSStableRule(0.3).check(history(base, base))
+        assert decision is not None and decision.rule == "ks-stable"
+
+    def test_holds_when_batch_shifts(self):
+        rule = KSStableRule(0.3)
+        shifted = history([1.0, 2.0, 3.0, 4.0, 5.0], [11.0, 12.0, 13.0, 14.0, 15.0])
+        assert rule.check(shifted) is None
+
+    def test_needs_two_batches_and_min_side(self):
+        rule = KSStableRule(0.9)
+        assert rule.check(history([1.0, 2.0, 3.0, 4.0, 5.0])) is None
+        assert rule.check(history([1.0, 2.0], [1.0, 2.0])) is None
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            KSStableRule(0.0)
+        with pytest.raises(ValueError):
+            KSStableRule(1.5)
+
+
+class TestMaxRepeatsRule:
+    def test_fires_at_limit(self):
+        rule = MaxRepeatsRule(3)
+        assert rule.check(history([1.0, 2.0])) is None
+        decision = rule.check(history([1.0, 2.0], [3.0]))
+        assert decision is not None and decision.rule == "max-repeats"
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(ValueError):
+            MaxRepeatsRule(0)

@@ -1,0 +1,78 @@
+"""Property tests pinning P² sketches to exact ``numpy.percentile``.
+
+The documented accuracy contract for :mod:`repro.telemetry.sketch`
+(relied on by docs/STATS.md when the ops benches report latency
+percentiles through these sketches):
+
+* **containment** — for *any* stream, the estimate lies within
+  ``[min, max]`` of what was observed;
+* **exactness** — with five or fewer observations the estimate is the
+  exact empirical percentile;
+* **rank error** — on smooth unimodal streams of n ≥ 200 the estimate
+  lands inside the exact quantile *window* ``[q(p-0.10), q(p+0.10)]``:
+  the P² marker invariants bound how far the tracked rank can drift,
+  not the value error, so the guarantee is rank-shaped.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.sketch import P2Quantile
+
+finite = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False)
+
+
+class TestContainment:
+    @given(stream=st.lists(finite, min_size=1, max_size=300), p=st.sampled_from([0.5, 0.9, 0.99]))
+    @settings(max_examples=150, deadline=None)
+    def test_estimate_never_leaves_observed_range(self, stream, p):
+        sketch = P2Quantile(p)
+        for x in stream:
+            sketch.add(x)
+        assert min(stream) <= sketch.value() <= max(stream)
+
+
+class TestExactSmallStreams:
+    @given(stream=st.lists(finite, min_size=1, max_size=5), p=st.sampled_from([0.25, 0.5, 0.95]))
+    @settings(max_examples=100, deadline=None)
+    def test_five_or_fewer_is_exact(self, stream, p):
+        sketch = P2Quantile(p)
+        for x in stream:
+            sketch.add(x)
+        assert sketch.value() == pytest.approx(
+            float(np.percentile(stream, p * 100.0)), rel=1e-12, abs=1e-12
+        )
+
+
+class TestRankWindow:
+    """The documented smooth-stream bound: within the ±0.10 rank window."""
+
+    RANK_EPS = 0.10
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=200, max_value=2000),
+        p=st.sampled_from([0.5, 0.9, 0.99]),
+        dist=st.sampled_from(["uniform", "normal", "exponential"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_smooth_streams_stay_in_the_window(self, seed, n, p, dist):
+        rng = np.random.default_rng(seed)
+        if dist == "uniform":
+            data = rng.uniform(0.0, 100.0, n)
+        elif dist == "normal":
+            data = rng.normal(50.0, 15.0, n)
+        else:
+            data = rng.exponential(20.0, n)
+        sketch = P2Quantile(p)
+        for x in data:
+            sketch.add(x)
+        lo_p = max(0.0, p - self.RANK_EPS) * 100.0
+        hi_p = min(1.0, p + self.RANK_EPS) * 100.0
+        lo, hi = np.percentile(data, [lo_p, hi_p])
+        # A hair of absolute slack keeps degenerate windows (p99 of a
+        # short tail) from failing on exact-boundary float comparisons.
+        span = float(data.max() - data.min())
+        assert lo - 1e-9 * span <= sketch.value() <= hi + 1e-9 * span
