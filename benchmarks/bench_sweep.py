@@ -1,0 +1,68 @@
+"""Extension experiment: the sweep orchestrator as a what-if instrument.
+
+Two claims, each a measurement:
+
+* **Planning is free, execution is the cost.** Expanding and
+  fingerprinting a 12-cell cross-product is milliseconds; the cells
+  themselves are campaigns.  The planner can therefore always show the
+  full bill (`sp2-sweep plan`) before a single campaign runs.
+* **The cache turns re-runs into reads.** A second `run_sweep` over an
+  unchanged spec executes zero campaigns — the speedup *is* the
+  campaign cost, which is what makes iterating on one axis of a large
+  sweep affordable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.sweep import SweepSpec, plan_sweep, run_sweep
+
+DAYS = min(int(os.environ.get("REPRO_BENCH_DAYS", "60")), 4)
+
+
+def make_spec():
+    return SweepSpec.from_dict(
+        {
+            "name": "bench",
+            "base": {"n_days": DAYS, "n_nodes": 32, "n_users": 12, "seed": 3},
+            "axes": {
+                "page_kb": [4, 16],
+                "fault_profile": [None, "pathological"],
+            },
+        }
+    )
+
+
+def test_planning_cost(benchmark):
+    spec = make_spec()
+    plan = benchmark(lambda: plan_sweep(spec))
+    assert plan.n_cells == 4
+    assert plan.baseline is plan.cells[0]
+
+
+def test_cache_reuse_speedup(benchmark, tmp_path, capsys):
+    spec = make_spec()
+    plan = plan_sweep(spec)
+    cache = str(tmp_path / "cells")
+
+    t0 = time.perf_counter()
+    cold = run_sweep(plan, cache_dir=cache)
+    cold_s = time.perf_counter() - t0
+    assert cold.executed == plan.n_cells
+
+    warm = benchmark.pedantic(
+        lambda: run_sweep(plan, cache_dir=cache), rounds=1, iterations=1
+    )
+    assert warm.executed == 0 and warm.reused == plan.n_cells
+    warm_s = benchmark.stats.stats.mean
+    with capsys.disabled():
+        print()
+        print(
+            f"sweep of {plan.n_cells} cells x {DAYS} days: "
+            f"cold {cold_s:.2f}s, cached {warm_s:.3f}s "
+            f"({cold_s / warm_s:.0f}x)"
+        )
+    # The cached pass must not be doing campaign work.
+    assert warm_s < cold_s / 2

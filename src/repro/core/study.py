@@ -30,6 +30,9 @@ from repro.tracing.tracer import Tracer
 from repro.util.rng import RngStreams
 from repro.workload.traces import SECONDS_PER_DAY, CampaignTrace, generate_trace
 
+#: Queue policies :class:`~repro.pbs.queue.JobQueue` implements.
+SCHEDULER_POLICIES = ("backfill", "fifo")
+
 
 @dataclass(frozen=True)
 class StudyConfig:
@@ -59,6 +62,14 @@ class StudyConfig:
     #: identical measurements — the flag exists for differential testing
     #: and benchmarking, not for trading accuracy against speed.
     accrual_backend: str = "auto"
+    #: PBS queue policy: ``backfill`` is NAS's drain-for-wide-jobs
+    #: conditional backfill (the paper's setup, §6); ``fifo`` disables
+    #: backfill entirely so nothing starts ahead of a blocked head —
+    #: the what-if axis scenario sweeps explore.
+    scheduler_policy: str = "backfill"
+    #: Node count above which a blocked head-of-queue job drains the
+    #: machine instead of being backfilled past (§6's 64-node limit).
+    scheduler_wide_threshold: int = 64
 
     def __post_init__(self) -> None:
         # Fail at construction with the offending value, not days deep
@@ -80,6 +91,16 @@ class StudyConfig:
             )
         if self.demand_mean is not None and self.demand_mean <= 0:
             raise ValueError(f"demand_mean must be positive, got {self.demand_mean}")
+        if self.scheduler_policy not in SCHEDULER_POLICIES:
+            raise ValueError(
+                f"unknown scheduler_policy {self.scheduler_policy!r}; "
+                f"available: {', '.join(SCHEDULER_POLICIES)}"
+            )
+        if self.scheduler_wide_threshold <= 0:
+            raise ValueError(
+                "scheduler_wide_threshold must be positive, got "
+                f"{self.scheduler_wide_threshold}"
+            )
         from repro.power2.batch import resolve_backend
 
         resolve_backend(self.accrual_backend)  # unknown names raise here
@@ -217,7 +238,18 @@ class WorkloadStudy:
         self.sim.tracer = tracer
         self.sim.bus = self.bus
         self.telemetry = TelemetryService(bus=self.bus, tracer=tracer)
-        self.pbs = PBSServer(self.sim, self.machine, bus=self.bus, tracer=tracer)
+        # Queue policy from the config; the defaults build exactly the
+        # queue PBSServer would build itself, so healthy campaigns stay
+        # byte-identical to pre-sweep releases.
+        from repro.pbs.queue import JobQueue
+
+        queue = JobQueue(
+            wide_threshold=self.config.scheduler_wide_threshold,
+            backfill=self.config.scheduler_policy == "backfill",
+        )
+        self.pbs = PBSServer(
+            self.sim, self.machine, queue=queue, bus=self.bus, tracer=tracer
+        )
         self.machine.switch.tracer = tracer
         self.machine.filesystem.tracer = tracer
         self.daemons = [NodeDaemon.for_node(n) for n in self.machine.nodes]
@@ -241,6 +273,7 @@ class WorkloadStudy:
             n_nodes=cfg.n_nodes,
             n_users=cfg.n_users,
             demand_mean=cfg.demand_mean,
+            machine_config=cfg.machine_config,
         )
         if trace.n_nodes != cfg.n_nodes:
             raise ValueError(

@@ -17,6 +17,7 @@ from repro.parallel.checkpoint import (
     config_fingerprint,
     load_shard_result,
     save_shard_result,
+    sha256_fingerprint,
 )
 from repro.parallel.merge import (
     JOB_ID_STRIDE,
@@ -55,5 +56,6 @@ __all__ = [
     "run_parallel_study",
     "run_shard",
     "save_shard_result",
+    "sha256_fingerprint",
     "shard_trace",
 ]

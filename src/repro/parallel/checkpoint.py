@@ -32,6 +32,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 CHECKPOINT_VERSION = 1
 
 
+def sha256_fingerprint(payload: str) -> str:
+    """The repo-wide fingerprint scheme: sha256 over a canonical string.
+
+    Shard checkpoints and sweep cells both key their caches with this —
+    one hashing convention, so "same fingerprint" always means "same
+    resolved experiment definition".
+    """
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def config_fingerprint(config: StudyConfig, n_shards: int) -> str:
     """Identity of a campaign's shard decomposition.
 
@@ -40,8 +50,7 @@ def config_fingerprint(config: StudyConfig, n_shards: int) -> str:
     fault profile, ...); ``n_shards`` pins the shard plan the results
     belong to.
     """
-    payload = f"v{CHECKPOINT_VERSION}|shards={n_shards}|{config!r}"
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return sha256_fingerprint(f"v{CHECKPOINT_VERSION}|shards={n_shards}|{config!r}")
 
 
 def shard_path(checkpoint_dir: str, index: int) -> str:

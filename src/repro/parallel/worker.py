@@ -84,6 +84,7 @@ def shard_trace(config: StudyConfig, shard: Shard, n_shards: int) -> CampaignTra
             n_nodes=config.n_nodes,
             n_users=config.n_users,
             demand_mean=config.demand_mean,
+            machine_config=config.machine_config,
         )
     return generate_shard_trace(
         config.seed,
@@ -94,6 +95,7 @@ def shard_trace(config: StudyConfig, shard: Shard, n_shards: int) -> CampaignTra
         n_nodes=config.n_nodes,
         n_users=config.n_users,
         demand_mean=config.demand_mean,
+        machine_config=config.machine_config,
     )
 
 

@@ -10,11 +10,12 @@ whatever worker count executed them.
 
 from __future__ import annotations
 
+import dataclasses
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.core.study import run_study
+from repro.core.study import StudyConfig, WorkloadStudy, run_study
 from repro.parallel.runner import _pool_context
 from repro.stats.metrics import DEFAULT_TARGET_METRIC, collect_metrics
 from repro.stats.repeater import Repeater, RepeatResult
@@ -81,6 +82,66 @@ def make_batch_runner(
         ctx = _pool_context(start_method)
         with ProcessPoolExecutor(max_workers=n_procs, mp_context=ctx) as pool:
             return list(pool.map(_repeat_task, payloads))
+
+    return run_batch
+
+
+# ----------------------------------------------------------------------
+# Full-config repeat unit (the scenario-sweep layer's per-cell estimator)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ConfigRepeatSpec:
+    """One repeat over an arbitrary resolved :class:`StudyConfig`.
+
+    Where :class:`CampaignRepeatSpec` carries the handful of flags
+    ``sp2-study repeat`` exposes, this carries the *whole* frozen config
+    — machine geometry, switch fabric, scheduler policy, fault profile —
+    so a sweep cell with overridden TLB entries or memory size gets the
+    same ``mean ± hw [n, rule]`` treatment.  The spec is picklable (all
+    nested configs are frozen dataclasses of plain values), so batches
+    fan across the worker pool exactly like the CLI repeat path.
+    """
+
+    config: StudyConfig
+    #: Shard width for within-campaign sharded execution (None = serial).
+    shard_days: int | None = None
+
+    def run_one(self, seed: int) -> dict[str, float]:
+        cfg = (
+            self.config
+            if seed == self.config.seed
+            else dataclasses.replace(self.config, seed=seed)
+        )
+        if self.shard_days is not None:
+            from repro.parallel.runner import run_parallel_study
+
+            dataset = run_parallel_study(cfg, workers=1, shard_days=self.shard_days)
+        else:
+            dataset = WorkloadStudy(cfg).run()
+        return collect_metrics(dataset)
+
+
+def _config_repeat_task(payload: tuple[ConfigRepeatSpec, int]) -> dict[str, float]:
+    spec, seed = payload
+    return spec.run_one(seed)
+
+
+def make_config_batch_runner(
+    spec: ConfigRepeatSpec,
+    *,
+    workers: int = 1,
+    start_method: str | None = None,
+) -> Callable[[Sequence[int]], list[dict[str, float]]]:
+    """A batch executor over a full config, order preserved."""
+
+    def run_batch(seeds: Sequence[int]) -> list[dict[str, float]]:
+        payloads = [(spec, int(s)) for s in seeds]
+        n_procs = min(workers, len(payloads))
+        if n_procs <= 1:
+            return [_config_repeat_task(p) for p in payloads]
+        ctx = _pool_context(start_method)
+        with ProcessPoolExecutor(max_workers=n_procs, mp_context=ctx) as pool:
+            return list(pool.map(_config_repeat_task, payloads))
 
     return run_batch
 

@@ -51,6 +51,18 @@ def collect_metrics(dataset: StudyDataset) -> dict[str, float]:
         ),
     }
 
+    # Availability block: the fault axis's first-order observables.  A
+    # healthy campaign is *exactly* up — 1.0 availability, zero downtime,
+    # zero kills, with zero across-seed variance — so any real fault
+    # process separates from it with non-overlapping CIs, which is what
+    # differential sweep reports flag.
+    log = dataset.faults
+    out["campaign.availability"] = float(log.availability()) if log is not None else 1.0
+    out["campaign.node_down_hours"] = (
+        float(log.node_down_seconds / 3600.0) if log is not None else 0.0
+    )
+    out["campaign.jobs_killed"] = float(log.jobs_killed) if log is not None else 0.0
+
     for h in headline_report(dataset):
         out[f"headline.{h.claim}"] = float(h.measured_value)
 

@@ -1,0 +1,547 @@
+"""Declarative scenario-sweep specification.
+
+The paper's §6 findings are one-off measurements on one configuration;
+a :class:`SweepSpec` turns them into *what-if studies*: a base campaign
+plus named **axes** (TLB entries, memory size, fault profile, scheduler
+policy, switch latency, ...) whose cross-product the planner expands
+into cells — "would a 1024-entry TLB have fixed §6's miss rates?" is a
+two-line spec, not a shell loop.
+
+Specs are plain data.  They load from Python dicts, JSON files, or a
+small YAML subset (:func:`parse_simple_yaml` — mappings, lists, scalars
+and comments; no anchors, no multi-line strings, no new dependencies),
+and every mistake fails at load time with a one-line ``ValueError``
+naming the offending key or value — never a traceback from inside the
+simulator days later.
+
+Every axis maps onto a knob :class:`~repro.core.study.StudyConfig`
+already exposes programmatically; :func:`resolve_config` is the single
+place a flat settings mapping becomes the frozen config object the
+runner, checkpoint fingerprints and cell cache all key on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.core.study import SCHEDULER_POLICIES, StudyConfig
+from repro.faults.profile import PROFILES, FaultProfile
+from repro.power2.batch import resolve_backend
+from repro.power2.config import POWER2_590, SwitchConfig
+from repro.stats.metrics import DEFAULT_TARGET_METRIC
+
+MB = 1024 * 1024
+KB = 1024
+
+#: Accrual backends the CLI exposes (resolve_backend accepts these).
+ACCRUAL_BACKENDS = ("auto", "scalar", "vectorized", "numpy", "python")
+
+
+# ----------------------------------------------------------------------
+# Axis registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AxisDef:
+    """One sweepable knob: its value type and optional choice set."""
+
+    name: str
+    kind: str  # "int" | "float" | "str"
+    doc: str
+    choices: tuple | None = None
+    allow_none: bool = False
+    #: Numeric axes demand positive values; the seed axis relaxes this
+    #: to non-negative (seed 0 is the paper's default campaign).
+    positive: bool = True
+
+    def check(self, value: Any, *, where: str) -> None:
+        """Raise a one-line ``ValueError`` unless ``value`` fits."""
+        if value is None:
+            if self.allow_none:
+                return
+            raise ValueError(f"{where} {self.name!r} must not be null")
+        # bool is an int subclass; a bare `true` for n_nodes is a typo,
+        # not a node count.
+        if self.kind == "int" and (isinstance(value, bool) or not isinstance(value, int)):
+            raise ValueError(
+                f"{where} {self.name!r} value {value!r} is not an integer"
+            )
+        if self.kind == "float" and (
+            isinstance(value, bool) or not isinstance(value, (int, float))
+        ):
+            raise ValueError(
+                f"{where} {self.name!r} value {value!r} is not a number"
+            )
+        if self.kind == "str" and not isinstance(value, str):
+            raise ValueError(
+                f"{where} {self.name!r} value {value!r} is not a string"
+            )
+        if self.choices is not None and value not in self.choices:
+            raise ValueError(
+                f"{where} {self.name!r} value {value!r} is not one of: "
+                f"{', '.join(str(c) for c in self.choices)}"
+            )
+        if self.kind in ("int", "float") and not isinstance(value, bool):
+            if self.positive and value <= 0:
+                raise ValueError(
+                    f"{where} {self.name!r} value {value!r} must be positive"
+                )
+            if not self.positive and value < 0:
+                raise ValueError(
+                    f"{where} {self.name!r} value {value!r} must not be negative"
+                )
+
+
+#: Every knob a sweep may fix (``base``) or vary (``axes``).  Each one
+#: maps to a :class:`StudyConfig` field in :func:`resolve_config`.
+AXES: dict[str, AxisDef] = {
+    a.name: a
+    for a in (
+        AxisDef("seed", "int", "campaign seed", positive=False),
+        AxisDef("n_days", "int", "campaign length in days"),
+        AxisDef("n_nodes", "int", "cluster size"),
+        AxisDef("n_users", "int", "user population size"),
+        AxisDef("demand_mean", "float", "demand model's mean target load (workload mix)"),
+        AxisDef(
+            "fault_profile",
+            "str",
+            "named fault-injection profile",
+            choices=tuple(sorted(PROFILES)),
+            allow_none=True,
+        ),
+        AxisDef(
+            "accrual_backend",
+            "str",
+            "counter-accrual backend",
+            choices=ACCRUAL_BACKENDS,
+        ),
+        AxisDef(
+            "scheduler_policy",
+            "str",
+            "PBS queue policy",
+            choices=tuple(SCHEDULER_POLICIES),
+        ),
+        AxisDef("scheduler_wide_threshold", "int", "drain threshold in nodes"),
+        AxisDef("tlb_entries", "int", "TLB entries per node"),
+        AxisDef("page_kb", "int", "page size in kB"),
+        AxisDef("memory_mb", "int", "per-node memory in MB"),
+        AxisDef("switch_latency_us", "float", "switch latency in microseconds"),
+        AxisDef("switch_bandwidth_mb_s", "float", "switch bandwidth in MB/s"),
+    )
+}
+
+#: Seed is special-cased: the repeat layer varies it, so a spec with a
+#: ``repeat`` block may not also sweep or fix it to conflicting ends —
+#: see :class:`SweepSpec` validation.
+_SEED_AXIS = "seed"
+
+
+def _unknown_key_error(kind: str, name: str) -> ValueError:
+    return ValueError(
+        f"unknown {kind} {name!r}; known axes: {', '.join(sorted(AXES))}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Repeat block
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RepeatSpec:
+    """Per-cell statistical repetition (docs/STATS.md semantics).
+
+    Either a fixed ``seeds`` list (every cell runs exactly these seeds;
+    deterministic, the CI fixture mode) or adaptive stopping from each
+    cell's base seed with a ``target_rse`` rule and ``max_repeats``
+    cutoff.  Every cell then carries ``mean ± hw [n, rule]`` estimates
+    for every metric, and ``compare`` can flag non-overlapping CIs.
+    """
+
+    seeds: tuple[int, ...] | None = None
+    target_rse: float | None = None
+    batch: int = 4
+    max_repeats: int = 32
+    metric: str = DEFAULT_TARGET_METRIC
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.seeds is not None:
+            if isinstance(self.seeds, list):
+                object.__setattr__(self, "seeds", tuple(self.seeds))
+            if not self.seeds:
+                raise ValueError("repeat.seeds must not be empty")
+            for s in self.seeds:
+                if isinstance(s, bool) or not isinstance(s, int):
+                    raise ValueError(f"repeat.seeds entry {s!r} is not an integer")
+            if len(set(self.seeds)) != len(self.seeds):
+                raise ValueError(f"repeat.seeds lists duplicate seeds: {list(self.seeds)}")
+        if self.target_rse is not None and not 0 < self.target_rse < 1:
+            raise ValueError(
+                f"repeat.target_rse must be in (0, 1), got {self.target_rse}"
+            )
+        if self.seeds is None and self.target_rse is None:
+            raise ValueError("repeat needs either a seeds list or a target_rse rule")
+        if self.seeds is not None and self.target_rse is not None:
+            raise ValueError(
+                "repeat cannot set both a seeds list and a target_rse rule — pick one"
+            )
+        if self.batch < 1 or self.max_repeats < 1:
+            raise ValueError("repeat.batch and repeat.max_repeats must be positive")
+        if not 0 < self.confidence < 1:
+            raise ValueError(
+                f"repeat.confidence must be in (0, 1), got {self.confidence}"
+            )
+
+    def as_dict(self) -> dict:
+        out: dict = {}
+        if self.seeds is not None:
+            out["seeds"] = list(self.seeds)
+        if self.target_rse is not None:
+            out["target_rse"] = self.target_rse
+        out.update(
+            batch=self.batch,
+            max_repeats=self.max_repeats,
+            metric=self.metric,
+            confidence=self.confidence,
+        )
+        return out
+
+    def token(self) -> str:
+        """Canonical string for cell fingerprints."""
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RepeatSpec":
+        unknown = set(data) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(f"unknown repeat keys: {', '.join(sorted(unknown))}")
+        payload = dict(data)
+        if "seeds" in payload and payload["seeds"] is not None:
+            if not isinstance(payload["seeds"], (list, tuple)):
+                raise ValueError(
+                    f"repeat.seeds must be a list, got {payload['seeds']!r}"
+                )
+            payload["seeds"] = tuple(payload["seeds"])
+        return cls(**payload)
+
+
+# ----------------------------------------------------------------------
+# The sweep spec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepSpec:
+    """A base campaign plus axes whose cross-product defines the sweep."""
+
+    name: str = "sweep"
+    #: Fixed settings every cell shares (keys from :data:`AXES`).
+    base: dict[str, Any] = field(default_factory=dict)
+    #: ``{axis: [values...]}`` — cells are the cross-product, in the
+    #: declaration order of the axes (first axis varies slowest).
+    axes: dict[str, list] = field(default_factory=dict)
+    #: Which cell is the baseline: a (partial) assignment of axis
+    #: values; unassigned axes default to their first listed value.
+    baseline: dict[str, Any] = field(default_factory=dict)
+    #: Optional per-cell statistical repetition.
+    repeat: RepeatSpec | None = None
+    #: Day-range shard width for within-cell sharded execution; part of
+    #: the experiment definition (shard plans shape fault schedules), so
+    #: it participates in cell fingerprints — worker counts do not.
+    shard_days: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not str(self.name).strip():
+            raise ValueError("sweep name cannot be empty")
+        for key, value in self.base.items():
+            if key not in AXES:
+                raise _unknown_key_error("base setting", key)
+            AXES[key].check(value, where="base setting")
+        for axis, values in self.axes.items():
+            if axis not in AXES:
+                raise _unknown_key_error("axis", axis)
+            if axis in self.base:
+                raise ValueError(
+                    f"axis {axis!r} also appears as a fixed base setting — "
+                    "a swept knob cannot be pinned; remove one"
+                )
+            if not isinstance(values, (list, tuple)):
+                raise ValueError(
+                    f"axis {axis!r} must list its values, got {values!r}"
+                )
+            if len(values) == 0:
+                raise ValueError(
+                    f"axis {axis!r} has no values — the cross-product is empty"
+                )
+            seen: list = []
+            for value in values:
+                AXES[axis].check(value, where="axis")
+                if value in seen:
+                    raise ValueError(f"axis {axis!r} lists duplicate value {value!r}")
+                seen.append(value)
+        if self.repeat is not None and _SEED_AXIS in self.axes:
+            raise ValueError(
+                "axis 'seed' cannot be combined with a repeat block — "
+                "the repeat layer already varies the seed"
+            )
+        for axis, value in self.baseline.items():
+            if axis not in self.axes:
+                raise ValueError(
+                    f"baseline names {axis!r}, which is not a swept axis "
+                    f"(axes: {', '.join(self.axes) or 'none'})"
+                )
+            if value not in self.axes[axis]:
+                raise ValueError(
+                    f"baseline {axis!r} value {value!r} is not among that "
+                    f"axis's values {list(self.axes[axis])}"
+                )
+        if self.shard_days is not None and self.shard_days <= 0:
+            raise ValueError(f"shard_days must be positive, got {self.shard_days}")
+        # Settings that only fail at StudyConfig construction (e.g. an
+        # accrual backend the registry rejects) fail here instead, with
+        # the cell left unnamed because no cells exist yet.
+        if "accrual_backend" in self.base:
+            resolve_backend(self.base["accrual_backend"])
+
+    # ------------------------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        n = 1
+        for values in self.axes.values():
+            n *= len(values)
+        return n
+
+    def baseline_overrides(self) -> dict[str, Any]:
+        """The baseline cell's full axis assignment."""
+        return {
+            axis: self.baseline.get(axis, values[0])
+            for axis, values in self.axes.items()
+        }
+
+    def to_dict(self) -> dict:
+        out: dict = {"name": self.name}
+        if self.base:
+            out["base"] = dict(self.base)
+        if self.axes:
+            out["axes"] = {k: list(v) for k, v in self.axes.items()}
+        if self.baseline:
+            out["baseline"] = dict(self.baseline)
+        if self.repeat is not None:
+            out["repeat"] = self.repeat.as_dict()
+        if self.shard_days is not None:
+            out["shard_days"] = self.shard_days
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SweepSpec":
+        if not isinstance(data, Mapping):
+            raise ValueError(f"sweep spec must be a mapping, got {type(data).__name__}")
+        unknown = set(data) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(f"unknown sweep spec keys: {', '.join(sorted(unknown))}")
+        payload = dict(data)
+        repeat = payload.pop("repeat", None)
+        if repeat is not None:
+            if not isinstance(repeat, Mapping):
+                raise ValueError(f"repeat must be a mapping, got {repeat!r}")
+            repeat = RepeatSpec.from_dict(repeat)
+        for block in ("base", "axes", "baseline"):
+            if block in payload and not isinstance(payload[block], Mapping):
+                raise ValueError(
+                    f"{block!r} must be a mapping, got {payload[block]!r}"
+                )
+        return cls(repeat=repeat, **payload)
+
+
+def load_spec_file(path: str) -> SweepSpec:
+    """A :class:`SweepSpec` from a JSON or YAML-subset file."""
+    try:
+        with open(path) as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise ValueError(f"cannot read sweep spec {path!r}: {exc}") from None
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        data = parse_simple_yaml(text)
+    if not isinstance(data, dict):
+        raise ValueError(f"sweep spec {path!r} is not a mapping")
+    return SweepSpec.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Settings → StudyConfig
+# ----------------------------------------------------------------------
+def resolve_config(settings: Mapping[str, Any]) -> StudyConfig:
+    """The frozen :class:`StudyConfig` for one cell's flat settings.
+
+    This is the normalization point: distinct spellings of the same
+    experiment (``fault_profile: none`` vs ``null``) resolve to equal
+    configs here, which is exactly what cell fingerprints hash — so the
+    planner can refuse accidentally-duplicated cells.
+    """
+    for key in settings:
+        if key not in AXES:
+            raise _unknown_key_error("setting", key)
+
+    machine = None
+    if any(settings.get(k) is not None for k in ("tlb_entries", "page_kb", "memory_mb")):
+        machine = POWER2_590
+        tlb = machine.tlb
+        if settings.get("tlb_entries") is not None:
+            tlb = replace(tlb, entries=int(settings["tlb_entries"]))
+        if settings.get("page_kb") is not None:
+            tlb = replace(tlb, page_bytes=int(settings["page_kb"]) * KB)
+        machine = replace(machine, tlb=tlb)
+        if settings.get("memory_mb") is not None:
+            machine = replace(machine, memory_bytes=int(settings["memory_mb"]) * MB)
+
+    switch = None
+    if any(
+        settings.get(k) is not None
+        for k in ("switch_latency_us", "switch_bandwidth_mb_s")
+    ):
+        base = SwitchConfig()
+        switch = SwitchConfig(
+            latency_seconds=(
+                float(settings["switch_latency_us"]) * 1e-6
+                if settings.get("switch_latency_us") is not None
+                else base.latency_seconds
+            ),
+            bandwidth_bytes_per_s=(
+                float(settings["switch_bandwidth_mb_s"]) * 1e6
+                if settings.get("switch_bandwidth_mb_s") is not None
+                else base.bandwidth_bytes_per_s
+            ),
+        )
+
+    profile = None
+    if settings.get("fault_profile") is not None:
+        profile = FaultProfile.named(settings["fault_profile"])
+        if profile.is_null:
+            profile = None
+
+    return StudyConfig(
+        seed=int(settings.get("seed", 0)),
+        n_days=int(settings.get("n_days", 30)),
+        n_nodes=int(settings.get("n_nodes", 144)),
+        n_users=int(settings.get("n_users", 60)),
+        machine_config=machine,
+        switch_config=switch,
+        demand_mean=(
+            float(settings["demand_mean"])
+            if settings.get("demand_mean") is not None
+            else None
+        ),
+        fault_profile=profile,
+        accrual_backend=settings.get("accrual_backend", "auto"),
+        scheduler_policy=settings.get("scheduler_policy", "backfill"),
+        scheduler_wide_threshold=int(settings.get("scheduler_wide_threshold", 64)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Minimal YAML-subset parser (no dependencies)
+# ----------------------------------------------------------------------
+def _scalar(token: str) -> Any:
+    token = token.strip()
+    if token.startswith("[") and token.endswith("]"):
+        inner = token[1:-1].strip()
+        if not inner:
+            return []
+        return [_scalar(part) for part in inner.split(",")]
+    if (token.startswith('"') and token.endswith('"') and len(token) >= 2) or (
+        token.startswith("'") and token.endswith("'") and len(token) >= 2
+    ):
+        return token[1:-1]
+    low = token.lower()
+    if low in ("null", "~", "none", ""):
+        return None
+    if low == "true":
+        return True
+    if low == "false":
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+def _strip_comment(line: str) -> str:
+    out: list[str] = []
+    quote: str | None = None
+    for ch in line:
+        if quote is not None:
+            out.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in "\"'":
+            quote = ch
+            out.append(ch)
+        elif ch == "#":
+            break
+        else:
+            out.append(ch)
+    return "".join(out).rstrip()
+
+
+def parse_simple_yaml(text: str) -> Any:
+    """Parse the YAML subset sweep specs use.
+
+    Supported: nested mappings by 2+-space indentation, ``key: value``
+    scalars, block lists (``- item``), inline lists (``[a, b]``),
+    ``#`` comments, quoted strings, int/float/bool/null scalars.
+    Unsupported constructs fail with a one-line error naming the line.
+    """
+    entries: list[tuple[int, str, int]] = []  # (indent, content, lineno)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        if "\t" in raw[: len(raw) - len(raw.lstrip())]:
+            raise ValueError(f"line {lineno}: tabs are not allowed in indentation")
+        line = _strip_comment(raw)
+        if not line.strip():
+            continue
+        indent = len(line) - len(line.lstrip(" "))
+        entries.append((indent, line.strip(), lineno))
+    if not entries:
+        return {}
+    value, next_i = _parse_block(entries, 0, entries[0][0])
+    if next_i != len(entries):
+        indent, content, lineno = entries[next_i]
+        raise ValueError(f"line {lineno}: unexpected de-indented content {content!r}")
+    return value
+
+
+def _parse_block(
+    entries: list[tuple[int, str, int]], i: int, indent: int
+) -> tuple[Any, int]:
+    if entries[i][1].startswith("- "):
+        items: list = []
+        while i < len(entries) and entries[i][0] == indent and entries[i][1].startswith("- "):
+            items.append(_scalar(entries[i][1][2:]))
+            i += 1
+        return items, i
+    mapping: dict = {}
+    while i < len(entries) and entries[i][0] == indent:
+        _, content, lineno = entries[i]
+        if content.startswith("- "):
+            raise ValueError(f"line {lineno}: list item in a mapping block")
+        if ":" not in content:
+            raise ValueError(f"line {lineno}: expected 'key: value', got {content!r}")
+        key_text, _, rest = content.partition(":")
+        key = key_text.strip().strip("\"'")
+        if key in mapping:
+            raise ValueError(f"line {lineno}: duplicate key {key!r}")
+        rest = rest.strip()
+        if rest:
+            mapping[key] = _scalar(rest)
+            i += 1
+            continue
+        i += 1
+        if i < len(entries) and entries[i][0] > indent:
+            mapping[key], i = _parse_block(entries, i, entries[i][0])
+        else:
+            mapping[key] = None
+    return mapping, i

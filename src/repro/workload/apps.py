@@ -20,6 +20,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.power2.config import MachineConfig
 from repro.power2.pipeline import DependencyProfile
 from repro.workload.kernels import KernelSpec, kernel
 from repro.workload.profile import CommPattern, IOPattern, JobProfile, build_job_profile
@@ -38,6 +39,7 @@ def _cached_profile(
     comm: CommPattern,
     io: IOPattern,
     serial: float,
+    config: MachineConfig | None = None,
 ) -> JobProfile:
     """Memoized profile construction for one concrete job draw.
 
@@ -57,6 +59,7 @@ def _cached_profile(
         memory_bytes_per_node=memory,
         comm=comm,
         io=io,
+        config=config,
         serial_fraction=serial,
     )
 
@@ -125,9 +128,21 @@ class ApplicationTemplate:
         )
 
     def instantiate(
-        self, rng: np.random.Generator, *, nodes: int | None = None
+        self,
+        rng: np.random.Generator,
+        *,
+        nodes: int | None = None,
+        config: MachineConfig | None = None,
     ) -> JobProfile:
-        """Draw one concrete job of this family."""
+        """Draw one concrete job of this family.
+
+        ``config`` is the machine the job will run on; the kernel's
+        cache/TLB miss ratios are evaluated against *its* geometry, so a
+        sweep over TLB entries or page size actually changes the
+        workload's measured rates.  ``None`` means the stock POWER2/590.
+        The draw sequence is config-independent: the same rng produces
+        the same job on every machine.
+        """
         n = self.sample_nodes(rng) if nodes is None else nodes
         k = self._jittered_kernel(rng)
         flops_iter = 10.0 ** rng.normal(
@@ -151,7 +166,7 @@ class ApplicationTemplate:
         )
         io = IOPattern(bytes_per_checkpoint=self.checkpoint_mbytes * MB)
         return _cached_profile(
-            self.name, k, n, flops_iter, walltime, memory, comm, io, serial
+            self.name, k, n, flops_iter, walltime, memory, comm, io, serial, config
         )
 
 

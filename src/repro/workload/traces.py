@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.power2.config import MachineConfig
 from repro.util.rng import RngStreams, spawn_stream
 from repro.workload.apps import APPLICATIONS, application
 from repro.workload.profile import JobProfile
@@ -66,6 +67,7 @@ def generate_trace(
     n_nodes: int = 144,
     n_users: int = 60,
     demand_mean: float | None = None,
+    machine_config: MachineConfig | None = None,
 ) -> CampaignTrace:
     """Generate the campaign submission trace.
 
@@ -73,6 +75,13 @@ def generate_trace(
     are drawn (user → app → concrete job) until the day's node-second
     budget is spent.  Long jobs spill their node-seconds into later days
     naturally when PBS runs them.
+
+    ``machine_config`` is the machine the jobs will run on: the profiles'
+    cache/TLB miss ratios and cycle counts are evaluated against its
+    geometry (``None`` = the stock POWER2/590), while every random draw
+    stays machine-independent — the *same* jobs run on a different
+    machine, which is what a what-if sweep over TLB or page geometry
+    means.
     """
     if n_days <= 0:
         raise ValueError("need at least one day")
@@ -91,7 +100,10 @@ def generate_trace(
         seed=seed, n_days=n_days, n_nodes=n_nodes, demand_levels=demand.levels.copy()
     )
     for day in range(n_days):
-        _fill_day(trace, day, demand.demand(day), population, demand, sub_rng)
+        _fill_day(
+            trace, day, demand.demand(day), population, demand, sub_rng,
+            machine_config=machine_config,
+        )
 
     trace.submissions.sort(key=lambda s: s.time)
     return trace
@@ -104,6 +116,8 @@ def _fill_day(
     population: UserPopulation,
     demand: DemandModel,
     rng: np.random.Generator,
+    *,
+    machine_config: MachineConfig | None = None,
 ) -> None:
     """Draw one day's submissions into ``trace`` (day indexed within the
     trace).  Extracted so the serial generator and the per-shard
@@ -121,7 +135,7 @@ def _fill_day(
         nodes = app.sample_nodes(rng)
         if nodes > n_nodes:
             nodes = max(c for c in app.node_choices if c <= n_nodes)
-        profile = app.instantiate(rng, nodes=nodes)
+        profile = app.instantiate(rng, nodes=nodes, config=machine_config)
         t = day * SECONDS_PER_DAY + demand.submit_time_in_day(rng)
         sub = Submission(
             time=t,
@@ -144,6 +158,7 @@ def generate_shard_trace(
     n_nodes: int = 144,
     n_users: int = 60,
     demand_mean: float | None = None,
+    machine_config: MachineConfig | None = None,
 ) -> CampaignTrace:
     """The submission stream for one day-range shard of a campaign.
 
@@ -179,7 +194,10 @@ def generate_shard_trace(
         demand_levels=demand.levels[day_start:day_end].copy(),
     )
     for local_day, day in enumerate(range(day_start, day_end)):
-        _fill_day(trace, local_day, demand.demand(day), population, demand, sub_rng)
+        _fill_day(
+            trace, local_day, demand.demand(day), population, demand, sub_rng,
+            machine_config=machine_config,
+        )
 
     trace.submissions.sort(key=lambda s: s.time)
     return trace

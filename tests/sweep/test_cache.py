@@ -1,0 +1,83 @@
+"""Cell cache: any defect reads as a miss, never a wrong answer."""
+
+from __future__ import annotations
+
+import os
+
+from repro.sweep.cache import cell_path, load_cell, save_cell
+from repro.sweep.planner import CELL_VERSION
+
+FP = "deadbeef" * 8
+
+
+def doc(**kw):
+    base = {
+        "version": CELL_VERSION,
+        "fingerprint": FP,
+        "name": "base",
+        "overrides": {},
+        "settings": {"n_days": 1},
+        "summary": {"campaign": {"jobs_accounted": 7}},
+        "metrics": {"campaign.jobs_accounted": 7.0},
+        "repeat": None,
+        "estimates": None,
+        "samples": None,
+    }
+    base.update(kw)
+    return base
+
+
+def test_roundtrip(tmp_path):
+    path = save_cell(str(tmp_path), doc())
+    assert os.path.exists(path)
+    assert load_cell(str(tmp_path), FP) == doc()
+
+
+def test_missing_is_none(tmp_path):
+    assert load_cell(str(tmp_path), FP) is None
+
+
+def test_missing_dir_is_none(tmp_path):
+    assert load_cell(str(tmp_path / "nowhere"), FP) is None
+
+
+def test_truncated_json_is_none(tmp_path):
+    save_cell(str(tmp_path), doc())
+    path = cell_path(str(tmp_path), FP)
+    text = open(path).read()
+    open(path, "w").write(text[: len(text) // 2])
+    assert load_cell(str(tmp_path), FP) is None
+
+
+def test_non_dict_payload_is_none(tmp_path):
+    open(cell_path(str(tmp_path), FP), "w").write("[1, 2]\n")
+    assert load_cell(str(tmp_path), FP) is None
+
+
+def test_version_mismatch_is_none(tmp_path):
+    save_cell(str(tmp_path), doc(version=CELL_VERSION + 1))
+    assert load_cell(str(tmp_path), FP) is None
+
+
+def test_fingerprint_mismatch_is_none(tmp_path):
+    # A file renamed (or hand-edited) to the wrong fingerprint must not
+    # serve another cell's results.
+    other = "feedface" * 8
+    save_cell(str(tmp_path), doc())
+    os.rename(cell_path(str(tmp_path), FP), cell_path(str(tmp_path), other))
+    assert load_cell(str(tmp_path), other) is None
+
+
+def test_save_creates_dir_and_leaves_no_temp_files(tmp_path):
+    cache = tmp_path / "fresh" / "cache"
+    save_cell(str(cache), doc())
+    leftovers = [p for p in os.listdir(cache) if ".tmp." in p]
+    assert leftovers == []
+
+
+def test_overwrite_is_atomic_replace(tmp_path):
+    save_cell(str(tmp_path), doc())
+    save_cell(str(tmp_path), doc(metrics={"campaign.jobs_accounted": 9.0}))
+    assert load_cell(str(tmp_path), FP)["metrics"] == {
+        "campaign.jobs_accounted": 9.0
+    }
